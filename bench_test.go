@@ -1,0 +1,476 @@
+package repro
+
+// One benchmark per reproduced table/figure (see DESIGN.md's E-index):
+// each runs the experiment's core scenario once per iteration, so
+// `go test -bench=. -benchmem` gives wall-clock and allocation costs
+// for every artifact, and the experiment driver (cmd/wsim) prints the
+// corresponding tables.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eem"
+	"repro/internal/filters"
+	"repro/internal/ip"
+	"repro/internal/itcp"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + i/253)
+	}
+	return b
+}
+
+// transferOnce builds a system with the given services and pushes n
+// bytes through it; it fails the benchmark if the stream misbehaves.
+func transferOnce(b *testing.B, cfg core.Config, cmds []string, cmdsB []string, n int, wantAll bool) *core.TransferResult {
+	b.Helper()
+	sys := core.NewSystem(cfg)
+	for _, c := range cmds {
+		sys.MustCommand(c)
+	}
+	for _, c := range cmdsB {
+		sys.MustCommandB(c)
+	}
+	res, err := sys.Transfer(pattern(n), 7, 5001, 900*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if wantAll && len(res.Received) != n {
+		b.Fatalf("delivered %d of %d bytes", len(res.Received), n)
+	}
+	return res
+}
+
+func launcherCmd(services string) string {
+	return fmt.Sprintf("add launcher %v 0 %v 0 %s", core.WiredAddr, core.MobileAddr, services)
+}
+
+// BenchmarkE1SPInterfaceSession measures a full Fig 5.3 control
+// session (connect, report/add/report/delete/report) over the
+// simulated telnet path.
+func BenchmarkE1SPInterfaceSession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(core.Config{Seed: int64(i + 1)})
+		sys.MustCommand("load tcp")
+		sys.MustCommand("load rdrop")
+		key := fmt.Sprintf("%v 7 %v 1169", core.WiredAddr, core.MobileAddr)
+		conn, err := sys.WiredTCP.Connect(core.ProxyCtrlAddr, 12000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out strings.Builder
+		conn.OnData = func(p []byte) { out.Write(p) }
+		conn.OnEstablished = func() {
+			conn.Write([]byte("report\nadd rdrop " + key + " 50\nreport\ndelete rdrop " + key + "\nreport\n"))
+		}
+		sys.Sched.RunFor(3 * time.Second)
+		if !strings.Contains(out.String(), "rdrop") {
+			b.Fatalf("session output: %q", out.String())
+		}
+	}
+}
+
+// BenchmarkE2EEMRoundTrip measures one EEM register + periodic update
+// delivery over the simulated network (Fig 6.2's workflow).
+func BenchmarkE2EEMRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(core.Config{Seed: int64(i + 1), WithUser: true, EEMInterval: 100 * time.Millisecond})
+		client := eem.NewClient(eem.SimDialer(sys.UserTCP))
+		id := eem.ID{Var: "sysUpTime", Server: "11.11.9.1"}
+		if err := client.Register(id, eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE}); err != nil {
+			b.Fatal(err)
+		}
+		sys.Sched.RunFor(time.Second)
+		if _, ok := client.Value(id); !ok {
+			b.Fatal("no update arrived")
+		}
+	}
+}
+
+// BenchmarkE4TTSFDrop reproduces the Fig 8.3 scenario: a 3 KB stream
+// with one segment dropped under the TTSF.
+func BenchmarkE4TTSFDrop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := transferOnce(b, core.Config{Seed: int64(i + 1)},
+			[]string{"load tcp", "load ttsf", "load rdrop", "load launcher",
+				launcherCmd("tcp ttsf rdrop:30")}, nil, 30_000, false)
+		if res.Client.State() != tcp.StateClosed && res.Client.State() != tcp.StateTimeWait {
+			b.Fatalf("sender did not complete: %v", res.Client.State())
+		}
+	}
+}
+
+// BenchmarkE5Compression is the Fig 8.4 double-proxy compression
+// pipeline over 120 KB of text.
+func BenchmarkE5Compression(b *testing.B) {
+	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 120_000/45+1)[:120_000]
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(core.Config{Seed: int64(i + 1), DoubleProxy: true,
+			Wireless: netsim.LinkConfig{Bandwidth: 1e6, Delay: 20 * time.Millisecond}})
+		for _, c := range []string{"load tcp", "load ttsf", "load comp", "load launcher",
+			launcherCmd("tcp ttsf comp:6")} {
+			sys.MustCommand(c)
+		}
+		for _, c := range []string{"load tcp", "load ttsf", "load decomp", "load launcher",
+			launcherCmd("tcp ttsf decomp")} {
+			sys.MustCommandB(c)
+		}
+		res, err := sys.Transfer(text, 7, 5001, 300*time.Second)
+		if err != nil || !bytes.Equal(res.Received, text) {
+			b.Fatalf("compression pipeline failed: %v (%d bytes)", err, len(res.Received))
+		}
+	}
+}
+
+// BenchmarkSnoopVsPlainTCP is E7 at the 10% loss point.
+func BenchmarkSnoopVsPlainTCP(b *testing.B) {
+	run := func(b *testing.B, services []string) {
+		b.SetBytes(100_000)
+		for i := 0; i < b.N; i++ {
+			transferOnce(b, core.Config{
+				Seed: int64(i + 1),
+				TCP:  tcp.Config{RcvWnd: 16384},
+				Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 25 * time.Millisecond,
+					Loss: netsim.Bernoulli{P: 0.10}, QueueLen: 200},
+			}, services, nil, 100_000, true)
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		run(b, []string{"load tcp", "load launcher", launcherCmd("tcp")})
+	})
+	b.Run("snoop", func(b *testing.B) {
+		run(b, []string{"load tcp", "load snoop", "load launcher", launcherCmd("tcp snoop")})
+	})
+}
+
+// BenchmarkWsizePriority is E8 at the 2048-byte cap point.
+func BenchmarkWsizePriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(core.Config{Seed: int64(i + 1),
+			Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 20 * time.Millisecond}})
+		sys.MustCommand("load tcp")
+		sys.MustCommand("load wsize")
+		sys.MustCommand(fmt.Sprintf("add wsize 0.0.0.0 0 %v 5002 cap 2048", core.MobileAddr))
+		sys.MustCommand(fmt.Sprintf("add tcp 0.0.0.0 0 %v 0", core.MobileAddr))
+		var hi, lo int
+		sys.MobileTCP.Listen(5001, func(c *tcp.Conn) { c.OnData = func(p []byte) { hi += len(p) } })
+		sys.MobileTCP.Listen(5002, func(c *tcp.Conn) { c.OnData = func(p []byte) { lo += len(p) } })
+		big := pattern(4_000_000)
+		c1, _ := sys.WiredTCP.Connect(core.MobileAddr, 5001)
+		c1.OnEstablished = func() { c1.Write(big) }
+		c2, _ := sys.WiredTCP.Connect(core.MobileAddr, 5002)
+		c2.OnEstablished = func() { c2.Write(big) }
+		sys.Sched.RunFor(10 * time.Second)
+		if hi < 2*lo {
+			b.Fatalf("prioritization failed: hi=%d lo=%d", hi, lo)
+		}
+	}
+}
+
+// BenchmarkZWSM is E9: with/without ZWSM across a disconnection.
+func BenchmarkZWSM(b *testing.B) {
+	run := func(b *testing.B, withZWSM bool) {
+		for i := 0; i < b.N; i++ {
+			sys := core.NewSystem(core.Config{Seed: int64(i + 1),
+				Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 10 * time.Millisecond}})
+			sys.MustCommand("load tcp")
+			sys.MustCommand("load launcher")
+			if withZWSM {
+				sys.MustCommand("load wsize")
+				sys.MustCommand(launcherCmd("tcp wsize:zwsm:300"))
+			} else {
+				sys.MustCommand(launcherCmd("tcp"))
+			}
+			rcvd := 0
+			sys.MobileTCP.Listen(5001, func(c *tcp.Conn) { c.OnData = func(p []byte) { rcvd += len(p) } })
+			client, _ := sys.WiredTCP.ConnectFrom(7, core.MobileAddr, 5001)
+			client.OnEstablished = func() { client.Write(pattern(20_000)) }
+			sys.Sched.RunFor(2 * time.Second)
+			sys.Wireless.SetDown(true)
+			sys.Sched.RunFor(time.Second)
+			client.Write(pattern(20_000))
+			sys.Sched.RunFor(9 * time.Second)
+			sys.Wireless.SetDown(false)
+			sys.Sched.RunFor(60 * time.Second)
+			if rcvd != 40_000 {
+				b.Fatalf("burst lost across disconnection: %d", rcvd)
+			}
+			st := client.Stats()
+			if withZWSM && st.ZeroWindowSeen == 0 {
+				b.Fatal("zwsm never stalled the sender")
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, false) })
+	b.Run("zwsm", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkRdrop is E10 at the 50% drop point.
+func BenchmarkRdrop(b *testing.B) {
+	b.SetBytes(100_000)
+	for i := 0; i < b.N; i++ {
+		res := transferOnce(b, core.Config{Seed: int64(i + 1),
+			Wireless: netsim.LinkConfig{Bandwidth: 5e6, Delay: 10 * time.Millisecond}},
+			[]string{"load tcp", "load ttsf", "load rdrop", "load launcher",
+				launcherCmd("tcp ttsf rdrop:50")}, nil, 100_000, false)
+		if res.Client.State() != tcp.StateClosed && res.Client.State() != tcp.StateTimeWait {
+			b.Fatalf("sender stuck: %v", res.Client.State())
+		}
+		if len(res.Received) == 100_000 {
+			b.Fatal("drops were not permanent")
+		}
+	}
+}
+
+// BenchmarkCompressionClasses is E11's per-class compression cost at
+// the filter level (payload framing only).
+func BenchmarkCompressionClasses(b *testing.B) {
+	classes := map[string][]byte{
+		"text":   bytes.Repeat([]byte("lorem ipsum dolor sit amet "), 55),
+		"binary": pattern(1460),
+	}
+	for name, payload := range classes {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				framed := filters.CompressPayload(payload, 6)
+				out, err := filters.DecompressPayload(framed)
+				if err != nil || !bytes.Equal(out, payload) {
+					b.Fatal("round trip failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHierarchicalDiscard is E12's media pipeline with the
+// discard filter keeping only the base layer.
+func BenchmarkHierarchicalDiscard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(core.Config{Seed: int64(i + 1),
+			Wireless: netsim.LinkConfig{Bandwidth: 800e3, Delay: 10 * time.Millisecond, QueueLen: 30}})
+		sys.MustCommand("load discard")
+		sys.MustCommand(fmt.Sprintf("add discard %v 4000 %v 4001 0", core.WiredAddr, core.MobileAddr))
+		delivered := 0
+		sys.MobileUDP.Bind(4001, func(_ ip.Addr, _ uint16, p []byte) { delivered++ })
+		src := media.NewLayeredSource(4, 300, int64(i+1))
+		frames := 0
+		var tick func()
+		tick = func() {
+			for _, f := range src.Next() {
+				sys.WiredUDP.Send(4000, core.MobileAddr, 4001, media.MarshalFrame(f))
+			}
+			frames++
+			if frames < 100 {
+				sys.Sched.After(40*time.Millisecond, tick)
+			}
+		}
+		sys.Sched.After(0, tick)
+		sys.Sched.RunFor(10 * time.Second)
+		if delivered != 100 {
+			b.Fatalf("base-layer delivery = %d, want 100", delivered)
+		}
+	}
+}
+
+// BenchmarkTranslate is E14's colour→mono conversion cost.
+func BenchmarkTranslate(b *testing.B) {
+	tiles := media.TestImageTiles(128, 128, 8, 3)
+	px := 0
+	for _, t := range tiles {
+		px += len(t.Pixels)
+	}
+	b.SetBytes(int64(px))
+	for i := 0; i < b.N; i++ {
+		for _, t := range tiles {
+			mono := media.ToMono(t)
+			if mono.Mode != media.ModeMono {
+				b.Fatal("not mono")
+			}
+		}
+	}
+}
+
+// BenchmarkFilterQueueDepth is E15: packets through the interception
+// hook with increasing numbers of stacked filters.
+func BenchmarkFilterQueueDepth(b *testing.B) {
+	for _, depth := range []int{0, 1, 4, 8} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Seed: 17})
+			sys.MustCommand("load tcp")
+			key := fmt.Sprintf("%v 7 %v 5001", core.WiredAddr, core.MobileAddr)
+			sys.MustCommand("add tcp " + key)
+			if depth > 0 {
+				sys.MustCommand("load rdrop")
+				for i := 0; i < depth; i++ {
+					sys.MustCommand(fmt.Sprintf("add rdrop %s 0", key))
+				}
+			}
+			seg := tcp.Segment{SrcPort: 7, DstPort: 5001, Seq: 1, Ack: 1,
+				Flags: tcp.FlagACK, Window: 65535, Payload: pattern(1000)}
+			h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: core.WiredAddr, Dst: core.MobileAddr}
+			raw, _ := h.Marshal(seg.Marshal(core.WiredAddr, core.MobileAddr))
+			hook := sys.ProxyHost.PacketHook()
+			in := sys.ProxyHost.Ifaces()[0]
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hook(raw, in)
+			}
+		})
+	}
+}
+
+// BenchmarkMobileIPTunnel is E13's encapsulation path cost.
+func BenchmarkMobileIPTunnel(b *testing.B) {
+	inner := ip.Header{TTL: 64, Protocol: ip.ProtoTCP,
+		Src: ip.MustParseAddr("1.1.1.1"), Dst: ip.MustParseAddr("10.0.0.99")}
+	raw, _ := inner.Marshal(pattern(1000))
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		enc, err := ip.Encapsulate(ip.MustParseAddr("10.0.0.254"), ip.MustParseAddr("20.0.0.254"), raw, uint16(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ip.Decapsulate(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPTransferSim measures raw simulator+stack throughput: a
+// 1 MB lossless transfer per iteration (the substrate's speed limit).
+func BenchmarkTCPTransferSim(b *testing.B) {
+	b.SetBytes(1_000_000)
+	for i := 0; i < b.N; i++ {
+		transferOnce(b, core.Config{Seed: int64(i + 1),
+			Wireless: netsim.LinkConfig{Bandwidth: 100e6, Delay: time.Millisecond}},
+			nil, nil, 1_000_000, true)
+	}
+}
+
+// Micro-benchmarks of the wire codecs.
+func BenchmarkIPChecksum(b *testing.B) {
+	buf := pattern(1500)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		ip.Checksum(buf)
+	}
+}
+
+func BenchmarkTCPSegmentMarshal(b *testing.B) {
+	seg := tcp.Segment{SrcPort: 7, DstPort: 80, Seq: 1, Ack: 1,
+		Flags: tcp.FlagACK, Window: 65535, Payload: pattern(1460)}
+	src, dst := core.WiredAddr, core.MobileAddr
+	b.SetBytes(1460)
+	for i := 0; i < b.N; i++ {
+		raw := seg.Marshal(src, dst)
+		if _, err := tcp.Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkITCPRelay is E17's split-connection path: one relayed
+// 100 KB transfer per iteration.
+func BenchmarkITCPRelay(b *testing.B) {
+	b.SetBytes(100_000)
+	for i := 0; i < b.N; i++ {
+		s := sim.NewScheduler(int64(i + 1))
+		n := netsim.New(s)
+		wired := n.AddNode("wired")
+		proxyN := n.AddNode("proxy")
+		mobile := n.AddNode("mobile")
+		proxyN.Forwarding = true
+		wire := netsim.LinkConfig{Bandwidth: 100e6, Delay: 2 * time.Millisecond}
+		wiredA := ip.MustParseAddr("11.11.10.99")
+		mobileA := ip.MustParseAddr("11.11.10.10")
+		lw := n.Connect(wired, wiredA, proxyN, ip.MustParseAddr("11.11.10.1"), wire)
+		lm := n.Connect(proxyN, ip.MustParseAddr("11.11.11.1"), mobile, mobileA,
+			netsim.LinkConfig{Bandwidth: 2e6, Delay: 20 * time.Millisecond})
+		wired.AddDefaultRoute(lw.IfaceA())
+		mobile.AddDefaultRoute(lm.IfaceB())
+		proxyN.AddRoute(mobileA.Mask(32), 32, lm.IfaceA())
+		wStack := tcp.NewStack(wired, tcp.Config{})
+		mStack := tcp.NewStack(mobile, tcp.Config{})
+		wired.RegisterProto(ip.ProtoTCP, func(h ip.Header, p, raw []byte, in *netsim.Iface) { wStack.Deliver(h.Src, h.Dst, p) })
+		mobile.RegisterProto(ip.ProtoTCP, func(h ip.Header, p, raw []byte, in *netsim.Iface) { mStack.Deliver(h.Src, h.Dst, p) })
+		if _, err := itcp.New(proxyN, mobileA, []uint16{5001}, tcp.Config{}, tcp.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		rcvd := 0
+		mStack.Listen(5001, func(c *tcp.Conn) { c.OnData = func(p []byte) { rcvd += len(p) } })
+		client, _ := wStack.Connect(mobileA, 5001)
+		client.OnEstablished = func() { client.Write(pattern(100_000)) }
+		s.RunFor(60 * time.Second)
+		if rcvd != 100_000 {
+			b.Fatalf("relayed %d bytes", rcvd)
+		}
+	}
+}
+
+// BenchmarkCacheFilter is E20's proxy-side fetch cache: hit-path cost.
+func BenchmarkCacheFilter(b *testing.B) {
+	sys := core.NewSystem(core.Config{Seed: 20})
+	sys.MustCommand("load cache")
+	sys.MustCommand(fmt.Sprintf("add cache %v 6001 %v 6000 64", core.MobileAddr, core.WiredAddr))
+	sys.WiredUDP.Bind(6000, func(src ip.Addr, sp uint16, payload []byte) {
+		key, _, isReq, ok := filters.DecodeFetch(payload)
+		if ok && isReq {
+			sys.WiredUDP.Send(6000, src, sp, filters.EncodeFetchResponse(key, pattern(1000)))
+		}
+	})
+	got := 0
+	sys.MobileUDP.Bind(6001, func(ip.Addr, uint16, []byte) { got++ })
+	// Prime the cache.
+	sys.MobileUDP.Send(6001, core.WiredAddr, 6000, filters.EncodeFetchRequest("bench"))
+	sys.Sched.RunFor(time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.MobileUDP.Send(6001, core.WiredAddr, 6000, filters.EncodeFetchRequest("bench"))
+		sys.Sched.RunFor(200 * time.Millisecond)
+	}
+	if got < b.N {
+		b.Fatalf("answered %d of %d fetches", got, b.N)
+	}
+}
+
+// BenchmarkInteractiveUnderBulk is E18's latency scenario with the cap.
+func BenchmarkInteractiveUnderBulk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(core.Config{Seed: int64(i + 1),
+			Wireless: netsim.LinkConfig{Bandwidth: 500e3, Delay: 20 * time.Millisecond, QueueLen: 30}})
+		sys.MustCommand("load tcp")
+		sys.MustCommand("load wsize")
+		sys.MustCommand(fmt.Sprintf("add tcp 0.0.0.0 0 %v 0", core.MobileAddr))
+		sys.MustCommand(fmt.Sprintf("add wsize 0.0.0.0 0 %v 5002 cap 1460", core.MobileAddr))
+		workload.ServeEcho(sys.MobileTCP, 5001)
+		sink := 0
+		workload.ServeSink(sys.MobileTCP, 5002, &sink)
+		iw, err := workload.StartInteractive(sys.Sched, sys.WiredTCP, core.MobileAddr, 5001,
+			250*time.Millisecond, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workload.StartBulk(sys.WiredTCP, core.MobileAddr, 5002, 2_000_000)
+		sys.Sched.RunFor(10 * time.Second)
+		iw.Stop()
+		if iw.Mean() > 150*time.Millisecond {
+			b.Fatalf("capped latency %v", iw.Mean())
+		}
+	}
+}

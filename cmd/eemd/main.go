@@ -1,0 +1,72 @@
+// Command eemd is the EEM server daemon: it serves the Table 6.1/6.2
+// variable catalogue of a live simulated proxy host over a real TCP
+// port, speaking the newline-delimited JSON protocol that the eem
+// client library and Kati use.
+//
+// Usage:
+//
+//	eemd [-listen :12001] [-interval 10s]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eem"
+	"repro/internal/sim"
+)
+
+// netConn adapts a real net.Conn to the EEM protocol Conn, funnelling
+// writes through the realtime driver so the server never races.
+type netConn struct {
+	c net.Conn
+}
+
+func (n netConn) Write(b []byte) error { _, err := n.c.Write(b); return err }
+func (n netConn) Close()               { n.c.Close() }
+
+func main() {
+	listen := flag.String("listen", ":12001", "address for the EEM protocol")
+	interval := flag.Duration("interval", 10*time.Second, "periodic update interval")
+	flag.Parse()
+
+	sys := core.NewSystem(core.Config{Seed: time.Now().UnixNano(), EEMInterval: *interval})
+	rt := sim.NewRealtime(sys.Sched)
+	go rt.Run(5 * time.Millisecond)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("eemd: %v", err)
+	}
+	log.Printf("eemd: EEM server on %s (interval %v, %d variables)",
+		*listen, *interval, len(sys.EEM.Variables()))
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatalf("eemd: accept: %v", err)
+		}
+		go serve(conn, rt, sys.EEM)
+	}
+}
+
+func serve(conn net.Conn, rt *sim.Realtime, srv *eem.Server) {
+	var onData func([]byte)
+	var onClose func()
+	rt.DoSync(func() { onData, onClose = srv.Accept(netConn{conn}) })
+	defer rt.Do(onClose)
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			rt.DoSync(func() { onData(data) })
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command spd is the service-proxy daemon: it runs the reference
+// Comma topology (wired host — proxy — wireless — mobile) in real
+// time, keeps a demonstration TCP stream flowing through the proxy,
+// and exposes the SP command interface of thesis §5.3 on a real TCP
+// port — so `telnet localhost 12000` reproduces the Fig 5.3 session
+// against live filter state.
+//
+// Usage:
+//
+//	spd [-listen :12000] [-loss 0.02] [-bw 2000000]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func main() {
+	listen := flag.String("listen", ":12000", "address for the SP control interface")
+	loss := flag.Float64("loss", 0.0, "wireless packet loss probability")
+	bw := flag.Int64("bw", 2e6, "wireless bandwidth, bits/s")
+	flag.Parse()
+
+	sys := core.NewSystem(core.Config{
+		Seed: time.Now().UnixNano(),
+		Wireless: netsim.LinkConfig{
+			Bandwidth: *bw,
+			Delay:     10 * time.Millisecond,
+			Loss:      netsim.Bernoulli{P: *loss},
+		},
+	})
+	rt := sim.NewRealtime(sys.Sched)
+
+	// A perpetual demonstration stream so `report` has something to
+	// show: wired:7 -> mobile:1169, refilled as it drains.
+	rt.Do(func() {
+		sys.MustCommand("load tcp")
+		sys.MustCommand("load launcher")
+		sys.MustCommand("load wsize")
+		sys.MustCommand("load rdrop")
+		sys.MustCommand("load snoop")
+		sys.MustCommand("load ttsf")
+		sys.MustCommand(fmt.Sprintf("add launcher %v 0 %v 0 tcp", core.WiredAddr, core.MobileAddr))
+		sys.MobileTCP.Listen(1169, func(c *tcp.Conn) {})
+		client, err := sys.WiredTCP.ConnectFrom(7, core.MobileAddr, 1169)
+		if err != nil {
+			log.Fatalf("demo stream: %v", err)
+		}
+		var refill func()
+		refill = func() {
+			if client.State() == tcp.StateEstablished && client.BufferedOut() < 10_000 {
+				client.Write(make([]byte, 10_000))
+			}
+			sys.Sched.After(time.Second, refill)
+		}
+		client.OnEstablished = func() { sys.Sched.After(0, refill) }
+	})
+	go rt.Run(5 * time.Millisecond)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("spd: %v", err)
+	}
+	log.Printf("spd: service proxy control on %s (try: telnet %s then 'report')", *listen, *listen)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatalf("spd: accept: %v", err)
+		}
+		go serve(conn, rt, sys)
+	}
+}
+
+func serve(conn net.Conn, rt *sim.Realtime, sys *core.System) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		var out string
+		rt.DoSync(func() { out = sys.Proxy.Command(line) })
+		if out != "" {
+			if _, err := conn.Write([]byte(out)); err != nil {
+				return
+			}
+		}
+	}
+}

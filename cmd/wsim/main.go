@@ -1,0 +1,42 @@
+// Command wsim is the experiment driver: it regenerates the thesis's
+// tables and figures (DESIGN.md's E1–E16 index) on the deterministic
+// network simulator.
+//
+// Usage:
+//
+//	wsim -list             list experiments
+//	wsim -exp E7           run one experiment
+//	wsim -all              run every experiment in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	exp := flag.String("exp", "", "run one experiment by id (e.g. E7)")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-55s %s\n", e.ID, e.Paper, e.Description)
+		}
+	case *exp != "":
+		if err := experiments.Run(*exp, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *all:
+		experiments.RunAll(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

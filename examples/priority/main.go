@@ -1,0 +1,58 @@
+// Priority: BSSP-style stream prioritization (thesis §8.2.2) applied
+// by a third party at run time. Two bulk downloads share the wireless
+// link; midway, an operator uses the SP command interface to cap the
+// background stream's advertised window, shifting bandwidth to the
+// interactive one — without touching either application.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+func main() {
+	sys := core.NewSystem(core.Config{
+		Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 20 * time.Millisecond},
+	})
+	sys.MustCommand("load tcp")
+	sys.MustCommand("load wsize")
+	sys.MustCommand(fmt.Sprintf("add tcp 0.0.0.0 0 %v 0", core.MobileAddr))
+
+	var fg, bg int
+	sys.MobileTCP.Listen(5001, func(c *tcp.Conn) { c.OnData = func(b []byte) { fg += len(b) } })
+	sys.MobileTCP.Listen(5002, func(c *tcp.Conn) { c.OnData = func(b []byte) { bg += len(b) } })
+	big := make([]byte, 16_000_000)
+	cFg, _ := sys.WiredTCP.Connect(core.MobileAddr, 5001)
+	cFg.OnEstablished = func() { cFg.Write(big) }
+	cBg, _ := sys.WiredTCP.Connect(core.MobileAddr, 5002)
+	cBg.OnEstablished = func() { cBg.Write(big) }
+
+	sample := func(phase string, lastFg, lastBg int) (int, int) {
+		fmt.Printf("%-28s foreground %5d KB/s   background %5d KB/s\n",
+			phase, (fg-lastFg)/10_000, (bg-lastBg)/10_000)
+		return fg, bg
+	}
+
+	fmt.Println("two bulk streams share a 2 Mb/s wireless link (rates per 10 s window):")
+	sys.Sched.RunFor(10 * time.Second)
+	lf, lb := sample("fair sharing:", 0, 0)
+
+	// Operator decision: background stream (port 5002) is low priority.
+	fmt.Println("\noperator: add wsize 0.0.0.0 0 " + core.MobileAddr.String() + " 5002 cap 2048")
+	sys.MustCommand(fmt.Sprintf("add wsize 0.0.0.0 0 %v 5002 cap 2048", core.MobileAddr))
+	sys.Sched.RunFor(10 * time.Second)
+	lf, lb = sample("after window cap:", lf, lb)
+
+	// And release it again.
+	fmt.Println("\noperator: delete wsize 0.0.0.0 0 " + core.MobileAddr.String() + " 5002")
+	sys.MustCommand(fmt.Sprintf("delete wsize 0.0.0.0 0 %v 5002", core.MobileAddr))
+	sys.Sched.RunFor(10 * time.Second)
+	sample("after release:", lf, lb)
+
+	fmt.Println("\nthe applications never saw anything but a smaller receive window —")
+	fmt.Println("end-to-end semantics preserved, control entirely third-party.")
+}

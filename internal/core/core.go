@@ -1,0 +1,265 @@
+// Package core assembles the Comma system of the thesis — Service
+// Proxy, Execution-Environment Monitor, filter catalogue, and control
+// ports — on a simulated wired/wireless topology. It is the public
+// entry point: examples, the experiment driver, and the daemons build
+// deployments through this package instead of wiring the substrates by
+// hand.
+//
+// The reference topology (thesis Fig 4.1):
+//
+//	wired host ──(wire)── proxy host ──(wireless)── mobile host
+//	                        │
+//	                        ├ Service Proxy  (control on TCP :12000)
+//	                        └ EEM server     (control on TCP :12001)
+//
+// With Config.DoubleProxy a second proxy sits on the far side of the
+// wireless link (thesis §10.2.4), which is how the transparent
+// compression service is deployed end-to-end.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/eem"
+	"repro/internal/filter"
+	"repro/internal/filters"
+	"repro/internal/ip"
+	"repro/internal/netsim"
+	"repro/internal/proxy"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+)
+
+// Well-known addresses of the reference topology.
+var (
+	WiredAddr     = ip.MustParseAddr("11.11.10.99")
+	MobileAddr    = ip.MustParseAddr("11.11.10.10")
+	ProxyCtrlAddr = ip.MustParseAddr("11.11.10.1") // SP/EEM control address
+	UserAddr      = ip.MustParseAddr("11.11.9.2")  // Kati workstation
+)
+
+// Config shapes a System. Zero values give a 2 Mb/s, 10 ms, lossless
+// wireless link and default TCP parameters.
+type Config struct {
+	Seed        int64
+	Wireless    netsim.LinkConfig
+	Wire        netsim.LinkConfig
+	TCP         tcp.Config
+	DoubleProxy bool
+	EEMInterval time.Duration
+	// WithUser adds a Kati workstation node wired to the proxy.
+	WithUser bool
+}
+
+// System is a running Comma deployment.
+type System struct {
+	Sched *sim.Scheduler
+	Net   *netsim.Network
+
+	Wired, Mobile *netsim.Node
+	ProxyHost     *netsim.Node
+	ProxyHostB    *netsim.Node // nil unless DoubleProxy
+	User          *netsim.Node // nil unless WithUser
+
+	Proxy  *proxy.Proxy
+	ProxyB *proxy.Proxy // nil unless DoubleProxy
+	EEM    *eem.Server
+
+	WiredTCP, MobileTCP *tcp.Stack
+	WiredUDP, MobileUDP *udp.Stack
+	UserTCP             *tcp.Stack // nil unless WithUser
+
+	Wireless *netsim.Link
+	Catalog  *filter.Catalog
+}
+
+// NewSystem builds and starts a Comma deployment.
+func NewSystem(cfg Config) *System {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Wireless.Bandwidth == 0 {
+		cfg.Wireless.Bandwidth = 2e6
+	}
+	if cfg.Wireless.Delay == 0 {
+		cfg.Wireless.Delay = 10 * time.Millisecond
+	}
+	if cfg.Wire.Bandwidth == 0 {
+		cfg.Wire.Bandwidth = 100e6
+	}
+	if cfg.Wire.Delay == 0 {
+		cfg.Wire.Delay = 2 * time.Millisecond
+	}
+	if cfg.EEMInterval == 0 {
+		cfg.EEMInterval = eem.DefaultUpdateInterval
+	}
+
+	s := sim.NewScheduler(cfg.Seed)
+	n := netsim.New(s)
+	sys := &System{Sched: s, Net: n}
+
+	sys.Wired = n.AddNode("wired")
+	sys.ProxyHost = n.AddNode("proxy")
+	sys.ProxyHost.Forwarding = true
+	sys.Mobile = n.AddNode("mobile")
+
+	lw := n.Connect(sys.Wired, WiredAddr, sys.ProxyHost, ProxyCtrlAddr, cfg.Wire)
+	sys.Wired.AddDefaultRoute(lw.IfaceA())
+
+	sys.Catalog = filter.NewCatalog()
+	filters.RegisterAll(sys.Catalog)
+	sys.Proxy = proxy.New(sys.ProxyHost, sys.Catalog)
+
+	if cfg.DoubleProxy {
+		sys.ProxyHostB = n.AddNode("proxyB")
+		sys.ProxyHostB.Forwarding = true
+		wless := n.Connect(sys.ProxyHost, ip.MustParseAddr("11.11.11.1"),
+			sys.ProxyHostB, ip.MustParseAddr("11.11.11.2"), cfg.Wireless)
+		sys.Wireless = wless
+		lm := n.Connect(sys.ProxyHostB, ip.MustParseAddr("11.11.12.1"), sys.Mobile, MobileAddr, cfg.Wire)
+		sys.ProxyHost.AddRoute(MobileAddr.Mask(32), 32, wless.IfaceA())
+		sys.ProxyHostB.AddDefaultRoute(wless.IfaceB())
+		sys.ProxyHostB.AddRoute(MobileAddr.Mask(32), 32, lm.IfaceA())
+		sys.Mobile.AddDefaultRoute(lm.IfaceB())
+		catB := filter.NewCatalog()
+		filters.RegisterAll(catB)
+		sys.ProxyB = proxy.New(sys.ProxyHostB, catB)
+	} else {
+		wless := n.Connect(sys.ProxyHost, ip.MustParseAddr("11.11.11.1"), sys.Mobile, MobileAddr, cfg.Wireless)
+		sys.Wireless = wless
+		sys.ProxyHost.AddRoute(MobileAddr.Mask(32), 32, wless.IfaceA())
+		sys.Mobile.AddDefaultRoute(wless.IfaceB())
+	}
+
+	// Data-plane stacks.
+	sys.WiredTCP = tcp.NewStack(sys.Wired, cfg.TCP)
+	sys.MobileTCP = tcp.NewStack(sys.Mobile, cfg.TCP)
+	sys.WiredUDP = udp.NewStack(sys.Wired)
+	sys.MobileUDP = udp.NewStack(sys.Mobile)
+	registerStacks(sys.Wired, sys.WiredTCP, sys.WiredUDP)
+	registerStacks(sys.Mobile, sys.MobileTCP, sys.MobileUDP)
+
+	// Control plane on the proxy host: SP command port and EEM server.
+	ctrl := tcp.NewStack(sys.ProxyHost, cfg.TCP)
+	sys.ProxyHost.RegisterProto(ip.ProtoTCP, func(h ip.Header, p, raw []byte, in *netsim.Iface) {
+		ctrl.Deliver(h.Src, h.Dst, p)
+	})
+	if err := proxy.ServeControl(ctrl, proxy.ControlPort, sys.Proxy); err != nil {
+		panic(fmt.Sprintf("core: control port: %v", err))
+	}
+	sys.EEM = eem.NewServer("proxy")
+	sys.EEM.Interval = cfg.EEMInterval
+	nodeSrc := &eem.NodeSource{Node: sys.ProxyHost, TCP: ctrl}
+	sys.EEM.AddSource(nodeSrc)
+	// Adaptive filters query the same variables through their Env
+	// (thesis ch. 6: filters are EEM clients too).
+	sys.Proxy.SetMetricSource(func(name string, index int) (float64, bool) {
+		v, err := nodeSrc.Get(name, index)
+		if err != nil {
+			return 0, false
+		}
+		switch v.Kind {
+		case eem.Long:
+			return float64(v.L), true
+		case eem.Double:
+			return v.D, true
+		}
+		return 0, false
+	})
+	if err := eem.ServeSim(ctrl, eem.DefaultPort, sys.EEM); err != nil {
+		panic(fmt.Sprintf("core: eem port: %v", err))
+	}
+	sys.EEM.StartSimTicker(s)
+
+	if cfg.WithUser {
+		sys.User = n.AddNode("user")
+		lu := n.Connect(sys.User, UserAddr, sys.ProxyHost, ip.MustParseAddr("11.11.9.1"), cfg.Wire)
+		sys.User.AddDefaultRoute(lu.IfaceA())
+		sys.ProxyHost.AddRoute(UserAddr.Mask(24), 24, lu.IfaceB())
+		sys.UserTCP = tcp.NewStack(sys.User, cfg.TCP)
+		registerStacks(sys.User, sys.UserTCP, nil)
+	}
+	return sys
+}
+
+func registerStacks(node *netsim.Node, t *tcp.Stack, u *udp.Stack) {
+	node.RegisterProto(ip.ProtoTCP, func(h ip.Header, p, raw []byte, in *netsim.Iface) {
+		t.Deliver(h.Src, h.Dst, p)
+	})
+	if u != nil {
+		node.RegisterProto(ip.ProtoUDP, func(h ip.Header, p, raw []byte, in *netsim.Iface) {
+			u.Deliver(h.Src, h.Dst, p)
+		})
+	}
+}
+
+// MustCommand runs an SP command on the primary proxy and panics on an
+// error response (setup helper for examples and experiments).
+func (s *System) MustCommand(line string) string {
+	out := s.Proxy.Command(line)
+	if len(out) >= 5 && out[:5] == "error" {
+		panic(fmt.Sprintf("core: proxy command %q: %s", line, out))
+	}
+	return out
+}
+
+// MustCommandB is MustCommand against the second proxy.
+func (s *System) MustCommandB(line string) string {
+	if s.ProxyB == nil {
+		panic("core: no second proxy (Config.DoubleProxy)")
+	}
+	out := s.ProxyB.Command(line)
+	if len(out) >= 5 && out[:5] == "error" {
+		panic(fmt.Sprintf("core: proxyB command %q: %s", line, out))
+	}
+	return out
+}
+
+// TransferResult reports a bulk transfer driven by Transfer.
+type TransferResult struct {
+	Sent      int
+	Received  []byte
+	Client    *tcp.Conn
+	Elapsed   time.Duration
+	Completed bool // all bytes delivered to the mobile application
+}
+
+// Transfer pushes payload from the wired host to the mobile on dstPort
+// and runs the simulation until delivery completes or deadline
+// elapses. The mobile side echoes nothing; it just consumes.
+func (s *System) Transfer(payload []byte, srcPort, dstPort uint16, deadline time.Duration) (*TransferResult, error) {
+	res := &TransferResult{Sent: len(payload)}
+	start := s.Sched.Now()
+	var done sim.Time = -1
+	_, err := s.MobileTCP.Listen(dstPort, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) {
+			res.Received = append(res.Received, b...)
+			if len(res.Received) == len(payload) {
+				done = s.Sched.Now()
+			}
+		}
+		c.OnRemoteClose = func() { c.Close() }
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := s.WiredTCP.ConnectFrom(srcPort, MobileAddr, dstPort)
+	if err != nil {
+		return nil, err
+	}
+	res.Client = client
+	client.OnEstablished = func() {
+		client.Write(payload)
+		client.Close()
+	}
+	s.Sched.RunFor(deadline)
+	if done >= 0 {
+		res.Completed = true
+		res.Elapsed = done.Sub(start)
+	} else {
+		res.Elapsed = s.Sched.Now().Sub(start)
+	}
+	return res, nil
+}

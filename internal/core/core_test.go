@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eem"
+	"repro/internal/netsim"
+)
+
+func TestSystemQuickstartTransfer(t *testing.T) {
+	sys := core.NewSystem(core.Config{})
+	sys.MustCommand("load tcp")
+	sys.MustCommand("load launcher")
+	sys.MustCommand("add launcher 11.11.10.99 0 11.11.10.10 0 tcp")
+
+	payload := bytes.Repeat([]byte("comma"), 10_000)
+	res, err := sys.Transfer(payload, 7, 5001, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("transfer incomplete: %d of %d", len(res.Received), res.Sent)
+	}
+	if !bytes.Equal(res.Received, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v", res.Elapsed)
+	}
+}
+
+func TestSystemDoubleProxyCompression(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		DoubleProxy: true,
+		Wireless:    netsim.LinkConfig{Bandwidth: 1e6, Delay: 20 * time.Millisecond},
+	})
+	for _, c := range []string{"load tcp", "load ttsf", "load comp", "load launcher",
+		"add launcher 11.11.10.99 0 11.11.10.10 0 tcp ttsf comp"} {
+		sys.MustCommand(c)
+	}
+	for _, c := range []string{"load tcp", "load ttsf", "load decomp", "load launcher",
+		"add launcher 11.11.10.99 0 11.11.10.10 0 tcp ttsf decomp"} {
+		sys.MustCommandB(c)
+	}
+	payload := bytes.Repeat([]byte("all work and no play makes jack a dull boy. "), 2000)
+	res, err := sys.Transfer(payload, 7, 5001, 300*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || !bytes.Equal(res.Received, payload) {
+		t.Fatalf("compressed transfer failed: %d of %d", len(res.Received), res.Sent)
+	}
+	if carried := sys.Wireless.StatsAB().Bytes; carried > int64(len(payload))/2 {
+		t.Fatalf("wireless carried %d bytes for %d payload", carried, len(payload))
+	}
+}
+
+func TestSystemEEMReachable(t *testing.T) {
+	sys := core.NewSystem(core.Config{WithUser: true, EEMInterval: time.Second})
+	client := eem.NewClient(eem.SimDialer(sys.UserTCP))
+	var got eem.Value
+	client.PollOnce(eem.ID{Var: "sysName", Server: "11.11.9.1"}, func(v eem.Value, err error) {
+		if err != nil {
+			t.Errorf("poll: %v", err)
+		}
+		got = v
+	})
+	sys.Sched.RunFor(2 * time.Second)
+	if got.S != "proxy" {
+		t.Fatalf("sysName = %q", got.S)
+	}
+}
+
+func TestMustCommandPanicsOnError(t *testing.T) {
+	sys := core.NewSystem(core.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCommand did not panic on error")
+		}
+	}()
+	sys.MustCommand("load nonexistent-filter")
+}
+
+func TestReportThroughControlPort(t *testing.T) {
+	// The SP control port on the proxy host answers over the simulated
+	// network, reproducing the thesis's telnet interface end to end.
+	sys := core.NewSystem(core.Config{})
+	sys.MustCommand("load tcp")
+	conn, err := sys.WiredTCP.Connect(core.ProxyCtrlAddr, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp strings.Builder
+	conn.OnData = func(b []byte) { resp.Write(b) }
+	conn.OnEstablished = func() { conn.Write([]byte("report\n")) }
+	sys.Sched.RunFor(2 * time.Second)
+	if !strings.Contains(resp.String(), "tcp") {
+		t.Fatalf("control response: %q", resp.String())
+	}
+}

@@ -1,0 +1,228 @@
+package eem
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Dialer opens a protocol stream to a named EEM server. The client
+// calls it lazily, once per distinct server referenced by a
+// registration (thesis §6.2: "whenever a client registers for a
+// variable on an EEM server not already connected to the client, the
+// connection thread opens a connection to the new host").
+//
+// The returned onData function must be invoked with inbound stream
+// bytes (wire it to the transport's receive callback).
+type Dialer func(server string) (conn Conn, wire func(onData func([]byte)), err error)
+
+// pdaEntry is one slot of the protected data area (thesis §6.2).
+type pdaEntry struct {
+	val       Value
+	inRange   bool
+	changed   bool // set on update, cleared by Value()
+	haveValue bool
+}
+
+// Client is the EEM client library (thesis comma_* interface). All
+// methods must be called from the event-loop goroutine driving the
+// transports.
+type Client struct {
+	dial    Dialer
+	conns   map[string]Conn
+	pda     map[ID]*pdaEntry
+	cb      func(ID, Value) // interrupt-style callback
+	nextSeq int64
+	polls   map[int64]func(Value, error)
+	listReq map[int64]func([]string)
+	closed  bool
+}
+
+// NewClient initializes the client library (comma_init).
+func NewClient(dial Dialer) *Client {
+	return &Client{
+		dial:    dial,
+		conns:   make(map[string]Conn),
+		pda:     make(map[ID]*pdaEntry),
+		polls:   make(map[int64]func(Value, error)),
+		listReq: make(map[int64]func([]string)),
+	}
+}
+
+// SetCallback installs the interrupt-notification callback
+// (comma_setcallback). Registrations made with Attr.Interrupt deliver
+// through it.
+func (c *Client) SetCallback(fn func(ID, Value)) { c.cb = fn }
+
+// Close disconnects from all servers and drops state (comma_term).
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = nil
+}
+
+// connTo returns (dialing if needed) the stream to server.
+func (c *Client) connTo(server string) (Conn, error) {
+	if conn, ok := c.conns[server]; ok {
+		return conn, nil
+	}
+	conn, wire, err := c.dial(server)
+	if err != nil {
+		return nil, fmt.Errorf("eem: dial %s: %w", server, err)
+	}
+	var lb lineBuffer
+	wire(func(data []byte) {
+		lb.feed(data, func(line []byte) { c.handleLine(server, line) })
+	})
+	c.conns[server] = conn
+	return conn, nil
+}
+
+// Register asks id's server to watch the variable under attr
+// (comma_var_register). Updates land silently in the protected data
+// area; if attr.Interrupt is set the callback also fires on entry to
+// the region.
+func (c *Client) Register(id ID, attr Attr) error {
+	conn, err := c.connTo(id.Server)
+	if err != nil {
+		return err
+	}
+	if _, ok := c.pda[id]; !ok {
+		c.pda[id] = &pdaEntry{}
+	}
+	return conn.Write(encodeMsg(wireMsg{Kind: msgRegister, ID: id, A: attr}))
+}
+
+// Deregister removes one registration (comma_var_deregister).
+func (c *Client) Deregister(id ID) error {
+	conn, err := c.connTo(id.Server)
+	if err != nil {
+		return err
+	}
+	delete(c.pda, id)
+	return conn.Write(encodeMsg(wireMsg{Kind: msgDeregister, ID: id}))
+}
+
+// DeregisterAll removes every registration on every server
+// (comma_var_deregisterall).
+func (c *Client) DeregisterAll() {
+	for _, conn := range c.conns {
+		conn.Write(encodeMsg(wireMsg{Kind: msgDeregisterAll}))
+	}
+	c.pda = make(map[ID]*pdaEntry)
+}
+
+// Value returns the most recent value from the protected data area
+// (comma_query_getvalue) and whether one has arrived. It clears the
+// changed mark.
+func (c *Client) Value(id ID) (Value, bool) {
+	e, ok := c.pda[id]
+	if !ok || !e.haveValue {
+		return Value{}, false
+	}
+	e.changed = false
+	return e.val, true
+}
+
+// InRange reports whether the most recent update had the variable
+// inside its region of interest (comma_query_isinrange).
+func (c *Client) InRange(id ID) bool {
+	e, ok := c.pda[id]
+	return ok && e.inRange
+}
+
+// HasChanged reports whether the variable changed since last read
+// (comma_query_haschanged).
+func (c *Client) HasChanged(id ID) bool {
+	e, ok := c.pda[id]
+	return ok && e.changed
+}
+
+// PollOnce retrieves a single value directly from the server
+// (comma_query_getvalue_once). The reply is delivered asynchronously
+// to fn — the event-driven rendering of the thesis's synchronous call.
+func (c *Client) PollOnce(id ID, fn func(Value, error)) error {
+	conn, err := c.connTo(id.Server)
+	if err != nil {
+		return err
+	}
+	c.nextSeq++
+	c.polls[c.nextSeq] = fn
+	return conn.Write(encodeMsg(wireMsg{Kind: msgPoll, Seq: c.nextSeq, ID: id}))
+}
+
+// ListVariables asks a server for its variable catalogue (Kati's
+// browsing support).
+func (c *Client) ListVariables(server string, fn func([]string)) error {
+	conn, err := c.connTo(server)
+	if err != nil {
+		return err
+	}
+	c.nextSeq++
+	c.listReq[c.nextSeq] = fn
+	return conn.Write(encodeMsg(wireMsg{Kind: msgListVars, Seq: c.nextSeq}))
+}
+
+// handleLine processes one inbound protocol message from server.
+func (c *Client) handleLine(server string, line []byte) {
+	var m wireMsg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return
+	}
+	switch m.Kind {
+	case msgUpdate:
+		for _, u := range m.Batch {
+			e, ok := c.pda[u.ID]
+			if !ok {
+				// Tolerate servers that strip the server name.
+				id := u.ID
+				id.Server = server
+				e, ok = c.pda[id]
+				if !ok {
+					continue
+				}
+			}
+			if !e.haveValue || !e.val.Equal(u.V) {
+				e.changed = true
+			}
+			e.val = u.V
+			e.haveValue = true
+			e.inRange = true
+		}
+	case msgNotify:
+		id := m.ID
+		if e, ok := c.pda[id]; ok {
+			if !e.haveValue || !e.val.Equal(m.V) {
+				e.changed = true
+			}
+			e.val = m.V
+			e.haveValue = true
+			e.inRange = true
+		}
+		if c.cb != nil {
+			c.cb(id, m.V)
+		}
+	case msgPollReply:
+		fn, ok := c.polls[m.Seq]
+		if !ok {
+			return
+		}
+		delete(c.polls, m.Seq)
+		if m.Err != "" {
+			fn(Value{}, fmt.Errorf("eem: %s", m.Err))
+		} else {
+			fn(m.V, nil)
+		}
+	case msgVarList:
+		if fn, ok := c.listReq[m.Seq]; ok {
+			delete(c.listReq, m.Seq)
+			fn(m.Names)
+		}
+	case msgError:
+		// Server rejected something; surfaced via logs in callers.
+	}
+}

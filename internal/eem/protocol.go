@@ -1,0 +1,91 @@
+package eem
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The EEM wire protocol is newline-delimited JSON messages over a byte
+// stream (the thesis's "lean data-transfer protocol between client and
+// server", §6.1.2, rendered debuggable). The same codec runs over the
+// simulated TCP stack and over real net.Conn in the daemons.
+
+// Message kinds.
+const (
+	msgRegister      = "register"
+	msgDeregister    = "deregister"
+	msgDeregisterAll = "deregister-all"
+	msgPoll          = "poll"
+	msgUpdate        = "update" // periodic batch: vars currently in range
+	msgNotify        = "notify" // interrupt-style single variable
+	msgPollReply     = "poll-reply"
+	msgError         = "error"
+	msgListVars      = "list-vars"
+	msgVarList       = "var-list"
+)
+
+// wireMsg is the single envelope for all protocol messages.
+type wireMsg struct {
+	Kind string `json:"kind"`
+	// Seq correlates poll requests with replies.
+	Seq int64 `json:"seq,omitempty"`
+	ID  ID    `json:"id,omitempty"`
+	A   Attr  `json:"attr,omitempty"`
+	V   Value `json:"value,omitempty"`
+	// Batch carries the variables of a periodic update.
+	Batch []varUpdate `json:"batch,omitempty"`
+	Err   string      `json:"err,omitempty"`
+	Names []string    `json:"names,omitempty"`
+}
+
+// varUpdate is one entry in a periodic update batch.
+type varUpdate struct {
+	ID ID    `json:"id"`
+	V  Value `json:"value"`
+}
+
+// encodeMsg renders a message as one JSON line.
+func encodeMsg(m wireMsg) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// All fields are marshalable types; this cannot happen.
+		panic(fmt.Sprintf("eem: marshal: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// lineBuffer accumulates stream bytes and emits complete lines.
+type lineBuffer struct {
+	buf []byte
+}
+
+// feed appends data and calls fn for each complete line.
+func (lb *lineBuffer) feed(data []byte, fn func(line []byte)) {
+	lb.buf = append(lb.buf, data...)
+	for {
+		i := -1
+		for j, c := range lb.buf {
+			if c == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return
+		}
+		line := lb.buf[:i]
+		lb.buf = lb.buf[i+1:]
+		if len(line) > 0 {
+			fn(line)
+		}
+	}
+}
+
+// Conn abstracts the byte stream the protocol runs over: the simulated
+// TCP connection in experiments, a real net.Conn in the daemons.
+type Conn interface {
+	// Write sends bytes toward the peer.
+	Write(b []byte) error
+	// Close tears the stream down.
+	Close()
+}

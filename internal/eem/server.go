@@ -1,0 +1,172 @@
+package eem
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DefaultUpdateInterval is the periodic check/update interval; the
+// thesis used "a currently hard-coded interval of roughly ten
+// seconds" (§6.3.2).
+const DefaultUpdateInterval = 10 * time.Second
+
+// registrationState tracks one client registration.
+type registrationState struct {
+	id   ID
+	attr Attr
+	// wasInRange implements edge-triggered interrupt notification: the
+	// callback fires when the variable *changes into* the region.
+	wasInRange bool
+}
+
+// session is one connected client.
+type session struct {
+	conn Conn
+	lb   lineBuffer
+	regs []*registrationState
+}
+
+// Server is an EEM server: it owns a set of variable sources and
+// serves registrations from any number of clients (thesis §6.2).
+type Server struct {
+	name     string
+	sources  []Source
+	varIndex map[string]Source
+	sessions map[*session]bool
+
+	// Interval is the periodic check period (default 10s).
+	Interval time.Duration
+
+	// Stats.
+	Registrations int64
+	UpdatesSent   int64
+	NotifiesSent  int64
+	PollsServed   int64
+}
+
+// NewServer creates a server named name (reported to clients in IDs).
+func NewServer(name string) *Server {
+	return &Server{
+		name:     name,
+		varIndex: make(map[string]Source),
+		sessions: make(map[*session]bool),
+		Interval: DefaultUpdateInterval,
+	}
+}
+
+// AddSource registers a variable source. Later sources win name
+// conflicts (application-specific sources can shadow defaults,
+// thesis §6.2).
+func (s *Server) AddSource(src Source) {
+	s.sources = append(s.sources, src)
+	for _, v := range src.Variables() {
+		s.varIndex[v] = src
+	}
+}
+
+// Variables lists every variable the server can answer for, sorted.
+func (s *Server) Variables() []string {
+	out := make([]string, 0, len(s.varIndex))
+	for v := range s.varIndex {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// get resolves a variable through the source index.
+func (s *Server) get(id ID) (Value, error) {
+	src, ok := s.varIndex[id.Var]
+	if !ok {
+		return Value{}, fmt.Errorf("eem: server %s has no variable %q", s.name, id.Var)
+	}
+	return src.Get(id.Var, id.Index)
+}
+
+// Accept attaches a client connection. Feed inbound bytes through the
+// returned function (wire it to the stream's data callback).
+func (s *Server) Accept(conn Conn) (onData func([]byte), onClose func()) {
+	sess := &session{conn: conn}
+	s.sessions[sess] = true
+	return func(data []byte) {
+			sess.lb.feed(data, func(line []byte) { s.handleLine(sess, line) })
+		}, func() {
+			delete(s.sessions, sess)
+		}
+}
+
+func (s *Server) handleLine(sess *session, line []byte) {
+	var m wireMsg
+	if err := json.Unmarshal(line, &m); err != nil {
+		sess.conn.Write(encodeMsg(wireMsg{Kind: msgError, Err: "bad message: " + err.Error()}))
+		return
+	}
+	switch m.Kind {
+	case msgRegister:
+		if _, ok := s.varIndex[m.ID.Var]; !ok {
+			sess.conn.Write(encodeMsg(wireMsg{Kind: msgError, Err: "unknown variable " + m.ID.Var}))
+			return
+		}
+		s.Registrations++
+		sess.regs = append(sess.regs, &registrationState{id: m.ID, attr: m.A})
+	case msgDeregister:
+		kept := sess.regs[:0]
+		for _, r := range sess.regs {
+			if r.id != m.ID {
+				kept = append(kept, r)
+			}
+		}
+		sess.regs = kept
+	case msgDeregisterAll:
+		sess.regs = nil
+	case msgPoll:
+		s.PollsServed++
+		v, err := s.get(m.ID)
+		reply := wireMsg{Kind: msgPollReply, Seq: m.Seq, ID: m.ID, V: v}
+		if err != nil {
+			reply.Err = err.Error()
+		}
+		sess.conn.Write(encodeMsg(reply))
+	case msgListVars:
+		sess.conn.Write(encodeMsg(wireMsg{Kind: msgVarList, Seq: m.Seq, Names: s.Variables()}))
+	default:
+		sess.conn.Write(encodeMsg(wireMsg{Kind: msgError, Err: "unknown message kind " + m.Kind}))
+	}
+}
+
+// Tick performs one periodic pass: evaluate every registration, fire
+// interrupt notifications for variables that entered their region, and
+// send each client a batch update of all its in-range variables
+// (thesis §6.2: "an update containing all variables that fall within
+// their requested range is sent... once all variables have been
+// checked"). The owner drives Tick from a simulator timer or a real
+// ticker.
+func (s *Server) Tick() {
+	for sess := range s.sessions {
+		var batch []varUpdate
+		for _, r := range sess.regs {
+			v, err := s.get(r.id)
+			if err != nil {
+				continue
+			}
+			in, err := r.attr.Matches(v)
+			if err != nil {
+				continue
+			}
+			if in && r.attr.Interrupt && !r.wasInRange {
+				s.NotifiesSent++
+				sess.conn.Write(encodeMsg(wireMsg{Kind: msgNotify, ID: r.id, V: v}))
+			}
+			r.wasInRange = in
+			if in {
+				batch = append(batch, varUpdate{ID: r.id, V: v})
+			}
+		}
+		if len(batch) > 0 {
+			s.UpdatesSent++
+			sess.conn.Write(encodeMsg(wireMsg{Kind: msgUpdate, Batch: batch}))
+		}
+	}
+}

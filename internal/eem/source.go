@@ -1,0 +1,296 @@
+package eem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+// Source supplies variable values to an EEM server. The server's
+// modular query mechanism (thesis §6.2: "designed so that it can
+// access a wide and easily extensible variety of information sources")
+// is this interface: register as many sources as the host offers.
+type Source interface {
+	// Variables lists the variable names this source serves.
+	Variables() []string
+	// Get returns the current value of a variable. index selects an
+	// instance for tabular variables (e.g. per-interface counters).
+	Get(name string, index int) (Value, error)
+}
+
+// SourceFunc adapts a function serving a fixed set of variables.
+type SourceFunc struct {
+	Names []string
+	Fn    func(name string, index int) (Value, error)
+}
+
+// Variables implements Source.
+func (s SourceFunc) Variables() []string { return s.Names }
+
+// Get implements Source.
+func (s SourceFunc) Get(name string, index int) (Value, error) { return s.Fn(name, index) }
+
+// SNMPVariables are the MIB-II names the EEM serves (thesis Table 6.1).
+var SNMPVariables = []string{
+	"sysDescr", "sysObjectID", "sysUpTime", "sysContact", "sysName",
+	"sysLocation", "sysServices",
+	"ipInReceives", "ipInHdrErrors", "ipInAddrErrors", "ipForwDatagrams",
+	"ipInUnknownProtos", "ipInDiscards", "ipInDelivers", "ipOutRequests",
+	"ipOutDiscards", "ipOutNoRoutes", "ipRoutingDiscard",
+	"udpInDatagrams", "udpNoPorts", "udpInErrors",
+	"tcpRtoAlgorithm", "tcpRtoMax", "tcpRtoMin", "tcpMaxConn",
+	"tcpActiveOpens", "tcpPassiveOpens", "tcpAttemptFails",
+	"tcpEstabResets", "tcpCurrEstab", "tcpInSegs", "tcpOutSegs",
+	"tcpRetransSegs",
+	"ifNumbers", "ifIndex", "ifDescr", "ifType", "ifMtu", "ifSpeed",
+	"ifInOctets", "ifInUcastPkts", "ifInNUcastPkts", "ifInDiscards",
+	"ifInErrors", "ifInUnknownProtos", "ifOutOctets", "ifOutUcastPkts",
+	"ifOutNUcastPkts", "ifOutDiscards", "ifOutErrors", "ifOutQLen",
+}
+
+// ExtraVariables are the additional measures of thesis Table 6.2.
+var ExtraVariables = []string{
+	"netLatency", "avgInIPPkts", "cpuLoadAvg", "ethErrsAvg", "ethInAvg",
+	"ethOutAvg", "deviceList", "bytes_rx", "bytes_tx",
+}
+
+// NodeSource serves the Table 6.1/6.2 variables from a simulated
+// host's counters — the stand-in for the local SNMP daemon the thesis
+// used. Variables with no simulator analogue return zero values,
+// which keeps the full SNMP surface available to clients.
+type NodeSource struct {
+	Node *netsim.Node
+	// TCP, when set, supplies the MIB-II tcp group (tcpActiveOpens,
+	// tcpCurrEstab, tcpRetransSegs, ...) from the host's TCP stack.
+	TCP *tcp.Stack
+	// Latency, when set, is reported as netLatency (milliseconds); the
+	// experiment harness wires it to a measured ping RTT.
+	Latency func() float64
+	// CPULoad, when set, is reported as cpuLoadAvg.
+	CPULoad func() float64
+
+	rates map[string]*rateSample
+}
+
+// rateSample tracks one counter's per-second rate between queries.
+type rateSample struct {
+	lastT time.Duration
+	lastV int64
+	rate  float64
+	valid bool
+}
+
+// rate returns the per-second rate of change of counter cur under key,
+// computed between successive queries (the thesis's "avg" variables
+// derive from SNMP history; here the history is the query history).
+func (s *NodeSource) rate(key string, cur int64) float64 {
+	if s.rates == nil {
+		s.rates = make(map[string]*rateSample)
+	}
+	now := time.Duration(s.Node.Clock().Now())
+	r, ok := s.rates[key]
+	if !ok {
+		s.rates[key] = &rateSample{lastT: now, lastV: cur}
+		return 0
+	}
+	if dt := now - r.lastT; dt > 0 {
+		r.rate = float64(cur-r.lastV) / dt.Seconds()
+		r.lastT = now
+		r.lastV = cur
+		r.valid = true
+	}
+	return r.rate
+}
+
+// Variables implements Source.
+func (s *NodeSource) Variables() []string {
+	out := make([]string, 0, len(SNMPVariables)+len(ExtraVariables))
+	out = append(out, SNMPVariables...)
+	out = append(out, ExtraVariables...)
+	sort.Strings(out)
+	return out
+}
+
+// Get implements Source.
+func (s *NodeSource) Get(name string, index int) (Value, error) {
+	n := s.Node
+	st := &n.Stats
+	switch name {
+	case "sysDescr":
+		return StringValue("comma simulated host " + n.Name()), nil
+	case "sysName":
+		return StringValue(n.Name()), nil
+	case "sysUpTime":
+		// SNMP TimeTicks: hundredths of a second.
+		return LongValue(int64(time.Duration(n.Clock().Now()) / (10 * time.Millisecond))), nil
+	case "sysContact", "sysLocation", "sysObjectID":
+		return StringValue(""), nil
+	case "sysServices":
+		if n.Forwarding {
+			return LongValue(3), nil // internetwork
+		}
+		return LongValue(72), nil // host
+	case "ipInReceives":
+		return LongValue(st.IPInReceives), nil
+	case "ipInHdrErrors":
+		return LongValue(st.IPInHdrErrors), nil
+	case "ipInAddrErrors":
+		return LongValue(st.IPInAddrErrors), nil
+	case "ipForwDatagrams":
+		return LongValue(st.IPForwDatagrams), nil
+	case "ipInUnknownProtos":
+		return LongValue(st.IPInUnknownProtos), nil
+	case "ipInDelivers":
+		return LongValue(st.IPInDelivers), nil
+	case "ipOutRequests":
+		return LongValue(st.IPOutRequests), nil
+	case "ipOutNoRoutes":
+		return LongValue(st.IPOutNoRoutes), nil
+	case "ifNumbers":
+		return LongValue(int64(len(n.Ifaces()))), nil
+	case "ifIndex":
+		return LongValue(int64(index)), nil
+	case "ifDescr":
+		if f := s.iface(index); f != nil {
+			return StringValue(fmt.Sprintf("if%d(%v)", index, f.Addr())), nil
+		}
+		return Value{}, fmt.Errorf("eem: no interface %d", index)
+	case "ifMtu":
+		return LongValue(1500), nil
+	case "ifSpeed":
+		if f := s.iface(index); f != nil && f.Link() != nil {
+			return LongValue(linkBandwidth(f)), nil
+		}
+		return Value{}, fmt.Errorf("eem: no interface %d", index)
+	case "ifInOctets", "bytes_rx":
+		return LongValue(s.octets(index, false)), nil
+	case "ifOutOctets", "bytes_tx":
+		return LongValue(s.octets(index, true)), nil
+	case "ifInUcastPkts":
+		return LongValue(s.pkts(index, false)), nil
+	case "ifOutUcastPkts":
+		return LongValue(s.pkts(index, true)), nil
+	case "ethInAvg":
+		return DoubleValue(s.rate("ethInAvg", s.pkts(index, false))), nil
+	case "ethOutAvg":
+		return DoubleValue(s.rate("ethOutAvg", s.pkts(index, true))), nil
+	case "ethErrsAvg":
+		return DoubleValue(s.rate("ethErrsAvg", s.Node.Stats.IPInHdrErrors)), nil
+	case "avgInIPPkts":
+		return DoubleValue(s.rate("avgInIPPkts", s.Node.Stats.IPInReceives)), nil
+	case "ifOutQLen":
+		return LongValue(0), nil
+	case "tcpRtoAlgorithm":
+		return LongValue(4), nil // vanj (Van Jacobson)
+	case "tcpRtoMin":
+		return LongValue(200), nil // milliseconds, Config default
+	case "tcpRtoMax":
+		return LongValue(60000), nil
+	case "tcpMaxConn":
+		return LongValue(-1), nil // no fixed limit
+	case "tcpActiveOpens", "tcpPassiveOpens", "tcpAttemptFails",
+		"tcpEstabResets", "tcpCurrEstab", "tcpInSegs", "tcpOutSegs",
+		"tcpRetransSegs":
+		if s.TCP == nil {
+			return LongValue(0), nil
+		}
+		m := s.TCP.MIB()
+		switch name {
+		case "tcpActiveOpens":
+			return LongValue(m.ActiveOpens), nil
+		case "tcpPassiveOpens":
+			return LongValue(m.PassiveOpens), nil
+		case "tcpAttemptFails":
+			return LongValue(m.AttemptFails), nil
+		case "tcpEstabResets":
+			return LongValue(m.EstabResets), nil
+		case "tcpCurrEstab":
+			return LongValue(int64(s.TCP.CurrEstab())), nil
+		case "tcpInSegs":
+			return LongValue(m.InSegs), nil
+		case "tcpOutSegs":
+			return LongValue(m.OutSegs), nil
+		default:
+			return LongValue(m.RetransSegs), nil
+		}
+	case "netLatency":
+		if s.Latency != nil {
+			return DoubleValue(s.Latency()), nil
+		}
+		return DoubleValue(0), nil
+	case "cpuLoadAvg":
+		if s.CPULoad != nil {
+			return DoubleValue(s.CPULoad()), nil
+		}
+		return DoubleValue(0), nil
+	case "deviceList":
+		var names []string
+		for i := range n.Ifaces() {
+			names = append(names, fmt.Sprintf("if%d", i))
+		}
+		return StringValue(strings.Join(names, ",")), nil
+	default:
+		for _, v := range SNMPVariables {
+			if v == name {
+				return LongValue(0), nil // no simulator analogue
+			}
+		}
+		for _, v := range ExtraVariables {
+			if v == name {
+				return LongValue(0), nil
+			}
+		}
+		return Value{}, fmt.Errorf("eem: unknown variable %q", name)
+	}
+}
+
+func (s *NodeSource) iface(index int) *netsim.Iface {
+	ifs := s.Node.Ifaces()
+	if index < 0 || index >= len(ifs) {
+		return nil
+	}
+	return ifs[index]
+}
+
+func (s *NodeSource) octets(index int, out bool) int64 {
+	f := s.iface(index)
+	if f == nil || f.Link() == nil {
+		return 0
+	}
+	st := dirStats(f, out)
+	return st.Bytes
+}
+
+func (s *NodeSource) pkts(index int, out bool) int64 {
+	f := s.iface(index)
+	if f == nil || f.Link() == nil {
+		return 0
+	}
+	st := dirStats(f, out)
+	return st.Packets
+}
+
+// dirStats returns the stats for traffic leaving (out) or entering
+// (!out) the interface.
+func dirStats(f *netsim.Iface, out bool) netsim.LinkStats {
+	l := f.Link()
+	aSide := l.IfaceA() == f
+	if aSide == out {
+		return l.StatsAB()
+	}
+	return l.StatsBA()
+}
+
+// linkBandwidth reports the interface's egress bandwidth in bits per
+// second, as SNMP ifSpeed does.
+func linkBandwidth(f *netsim.Iface) int64 {
+	l := f.Link()
+	if l.IfaceA() == f {
+		return l.ConfigAB().Bandwidth
+	}
+	return l.ConfigBA().Bandwidth
+}

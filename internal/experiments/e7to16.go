@@ -1,0 +1,629 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/media"
+	"repro/internal/mobileip"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "E7",
+		Paper:       "§2.3/§8.2.1 claim (TCP misreads wireless loss as congestion; snoop repairs it)",
+		Description: "Goodput vs wireless loss rate: plain TCP vs TCP behind the snoop filter.",
+		Run:         runE7,
+	})
+	register(Experiment{
+		ID:          "E8",
+		Paper:       "§8.2.2 claim (BSSP stream prioritization)",
+		Description: "Two competing streams; capping the low-priority stream's window shifts bandwidth to the priority stream.",
+		Run:         runE8,
+	})
+	register(Experiment{
+		ID:          "E9",
+		Paper:       "§8.2.2 claim (ZWSM disconnection management)",
+		Description: "Burst sent during a 20s disconnection: sender timeouts and restart latency with vs without ZWSM.",
+		Run:         runE9,
+	})
+	register(Experiment{
+		ID:          "E10",
+		Paper:       "§8.1.5 (rdrop under the TTSF)",
+		Description: "Permanent data reduction: wireless bytes and delivered fraction vs drop rate, sender always completes.",
+		Run:         runE10,
+	})
+	register(Experiment{
+		ID:          "E11",
+		Paper:       "§8.1.6 + Table 8.1 (compression by data class)",
+		Description: "Transparent compression savings for the thesis's data classes (text, image, binary).",
+		Run:         runE11,
+	})
+	register(Experiment{
+		ID:          "E12",
+		Paper:       "§8.3.2 (hierarchical discard)",
+		Description: "Layered media over a constrained wireless link: base-layer on-time delivery with and without discard.",
+		Run:         runE12,
+	})
+	register(Experiment{
+		ID:          "E13",
+		Paper:       "§2.1 (Mobile IP: triangular routing, handoff loss)",
+		Description: "Tunnel-path latency vs binding-cache optimization; packets lost across a handoff gap.",
+		Run:         runE13,
+	})
+	register(Experiment{
+		ID:          "E14",
+		Paper:       "§8.3.3 (data-type translation)",
+		Description: "Colour→mono image tiles and rich-text→ASCII: wireless bandwidth reduction with intact semantics.",
+		Run:         runE14,
+	})
+	register(Experiment{
+		ID:          "E15",
+		Paper:       "§5.2 (filter-queue mechanism)",
+		Description: "Proxy forwarding cost vs filter-queue depth (stacked 0%-rdrop filters as no-ops).",
+		Run:         runE15,
+	})
+	register(Experiment{
+		ID:          "E16",
+		Paper:       "§8.1 end-to-end invariant",
+		Description: "One seeded instance of the randomized TTSF property (full test: TestTTSFPropertyRandomTransformations).",
+		Run:         runE16,
+	})
+}
+
+func runE7(w io.Writer) {
+	s := trace.NewSeries("E7: goodput vs wireless loss (300 KB transfer, 2 Mb/s, 25 ms, 16 KB window)",
+		"loss %", "goodput KB/s")
+	for _, lossPct := range []float64{0, 2, 5, 10, 15, 20} {
+		for _, mode := range []string{"plain", "snoop", "split"} {
+			if mode == "split" {
+				s.Add(mode, lossPct, splitGoodput(lossPct))
+				continue
+			}
+			// Average over seeds: a single run's goodput at high loss
+			// is dominated by a handful of timeout coincidences.
+			total := 0.0
+			const seeds = 3
+			for seed := int64(41); seed < 41+seeds; seed++ {
+				sys := core.NewSystem(core.Config{
+					Seed: seed,
+					// A 16 KB receive window matches the era's BSD
+					// socket buffers and keeps the base-station queue
+					// near the bandwidth-delay product, as in the
+					// Snoop testbed.
+					TCP: tcp.Config{RcvWnd: 16384},
+					Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 25 * time.Millisecond,
+						Loss: netsim.Bernoulli{P: lossPct / 100}, QueueLen: 200},
+				})
+				sys.MustCommand("load tcp")
+				sys.MustCommand("load launcher")
+				svc := "tcp"
+				if mode == "snoop" {
+					sys.MustCommand("load snoop")
+					svc = "tcp snoop"
+				}
+				sys.MustCommand(fmt.Sprintf("add launcher %v 0 %v 0 %s", core.WiredAddr, core.MobileAddr, svc))
+				res, err := sys.Transfer(pattern(300_000), 7, 5001, 600*time.Second)
+				if err == nil && res.Completed {
+					total += float64(res.Sent) / res.Elapsed.Seconds() / 1000
+				}
+			}
+			s.Add(mode, lossPct, total/seeds)
+		}
+	}
+	s.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: parity at 0% loss; snoop and the split connection both beat")
+	fmt.Fprintln(w, "plain TCP as loss grows — but the split connection pays with broken")
+	fmt.Fprintln(w, "end-to-end semantics (see E17).")
+}
+
+// splitGoodput measures the I-TCP baseline at one loss point, averaged
+// over the same seeds as the other modes.
+func splitGoodput(lossPct float64) float64 {
+	total := 0.0
+	const seeds = 3
+	for seed := int64(41); seed < 41+seeds; seed++ {
+		wireless := netsim.LinkConfig{Bandwidth: 2e6, Delay: 25 * time.Millisecond,
+			Loss: netsim.Bernoulli{P: lossPct / 100}, QueueLen: 200}
+		r := newSplitRig(seed, wireless, true)
+		payload := pattern(300_000)
+		rcvd := 0
+		first, done := sim.Time(-1), sim.Time(-1)
+		r.mStack.Listen(5001, func(c *tcp.Conn) {
+			c.OnData = func(b []byte) {
+				if first < 0 {
+					first = r.sched.Now()
+				}
+				rcvd += len(b)
+				if rcvd == len(payload) {
+					done = r.sched.Now()
+				}
+			}
+		})
+		client, _ := r.wStack.Connect(ip.MustParseAddr("11.11.10.10"), 5001)
+		client.OnEstablished = func() { client.Write(payload) }
+		r.sched.RunFor(600 * time.Second)
+		if done >= 0 {
+			total += float64(len(payload)) / done.Sub(0).Seconds() / 1000
+		}
+	}
+	return total / seeds
+}
+
+func runE8(w io.Writer) {
+	t := trace.NewTable("E8: window-cap prioritization (two 8 MB streams, 2 Mb/s shared link, 20 s)",
+		"low-priority cap (B)", "priority stream KB", "capped stream KB", "ratio")
+	for _, cap := range []int{65535, 16384, 8192, 4096, 2048} {
+		sys := core.NewSystem(core.Config{
+			Seed:     8,
+			Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 20 * time.Millisecond},
+		})
+		sys.MustCommand("load tcp")
+		sys.MustCommand("load wsize")
+		sys.MustCommand(fmt.Sprintf("add wsize 0.0.0.0 0 %v 5002 cap %d", core.MobileAddr, cap))
+		sys.MustCommand(fmt.Sprintf("add tcp 0.0.0.0 0 %v 5002", core.MobileAddr))
+		sys.MustCommand(fmt.Sprintf("add tcp 0.0.0.0 0 %v 5001", core.MobileAddr))
+
+		var hi, lo int
+		sys.MobileTCP.Listen(5001, func(c *tcp.Conn) { c.OnData = func(b []byte) { hi += len(b) } })
+		sys.MobileTCP.Listen(5002, func(c *tcp.Conn) { c.OnData = func(b []byte) { lo += len(b) } })
+		// Big enough that neither stream finishes inside the window:
+		// the table shows the steady-state bandwidth split.
+		big := pattern(8_000_000)
+		c1, _ := sys.WiredTCP.Connect(core.MobileAddr, 5001)
+		c1.OnEstablished = func() { c1.Write(big) }
+		c2, _ := sys.WiredTCP.Connect(core.MobileAddr, 5002)
+		c2.OnEstablished = func() { c2.Write(big) }
+		sys.Sched.RunFor(20 * time.Second)
+		ratio := float64(hi) / float64(lo+1)
+		t.AddRow(cap, hi/1000, lo/1000, ratio)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: smaller caps starve the low-priority stream; the priority stream absorbs the difference.")
+}
+
+func runE9(w io.Writer) {
+	t := trace.NewTable("E9: 20 s disconnection during bursty transfer (2 Mb/s, 10 ms)",
+		"mode", "sender RTOs", "persist probes", "zero-window seen", "restart after reconnect (ms)")
+	run := func(withZWSM bool) {
+		sys := core.NewSystem(core.Config{
+			Seed:     7,
+			Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 10 * time.Millisecond},
+		})
+		sys.MustCommand("load tcp")
+		sys.MustCommand("load launcher")
+		mode := "plain TCP"
+		if withZWSM {
+			sys.MustCommand("load wsize")
+			sys.MustCommand(fmt.Sprintf("add launcher %v 0 %v 0 tcp wsize:zwsm:300", core.WiredAddr, core.MobileAddr))
+			mode = "with ZWSM"
+		} else {
+			sys.MustCommand(fmt.Sprintf("add launcher %v 0 %v 0 tcp", core.WiredAddr, core.MobileAddr))
+		}
+		var rcvd int
+		done := sim.Time(-1)
+		sys.MobileTCP.Listen(5001, func(c *tcp.Conn) {
+			c.OnData = func(b []byte) {
+				rcvd += len(b)
+				if rcvd == 40_000 {
+					done = sys.Sched.Now()
+				}
+			}
+		})
+		client, _ := sys.WiredTCP.ConnectFrom(7, core.MobileAddr, 5001)
+		client.OnEstablished = func() { client.Write(pattern(20_000)) }
+		sys.Sched.RunFor(2 * time.Second)
+		sys.Wireless.SetDown(true)
+		sys.Sched.RunFor(time.Second)
+		client.Write(pattern(20_000))
+		sys.Sched.RunFor(19 * time.Second)
+		sys.Wireless.SetDown(false)
+		reconnect := sys.Sched.Now()
+		sys.Sched.RunFor(120 * time.Second)
+		restartMS := -1.0
+		if done >= 0 {
+			restartMS = done.Sub(reconnect).Seconds() * 1000
+		}
+		st := client.Stats()
+		t.AddRow(mode, st.Timeouts, st.PersistProbes, st.ZeroWindowSeen, restartMS)
+	}
+	run(false)
+	run(true)
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: ZWSM replaces RTO backoff with persist probes and restarts sooner.")
+}
+
+func runE10(w io.Writer) {
+	t := trace.NewTable("E10: rdrop under the TTSF (200 KB offered, 5 Mb/s wireless)",
+		"drop rate %", "delivered KB", "delivered %", "wireless KB", "sender completed")
+	for _, rate := range []int{0, 25, 50, 75} {
+		sys := core.NewSystem(core.Config{
+			Seed:     10,
+			Wireless: netsim.LinkConfig{Bandwidth: 5e6, Delay: 10 * time.Millisecond},
+		})
+		for _, c := range []string{"load tcp", "load ttsf", "load rdrop", "load launcher",
+			fmt.Sprintf("add launcher %v 0 %v 0 tcp ttsf rdrop:%d", core.WiredAddr, core.MobileAddr, rate)} {
+			sys.MustCommand(c)
+		}
+		res, err := sys.Transfer(pattern(200_000), 7, 5001, 600*time.Second)
+		if err != nil {
+			fmt.Fprintf(w, "rate %d: %v\n", rate, err)
+			continue
+		}
+		completed := res.Client.State() == tcp.StateClosed || res.Client.State() == tcp.StateTimeWait
+		t.AddRow(rate, len(res.Received)/1000,
+			float64(len(res.Received))*100/float64(res.Sent),
+			sys.Wireless.StatsAB().Bytes/1000, completed)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: delivered fraction tracks (100 - drop rate); the sender finishes at every rate.")
+}
+
+func runE11(w io.Writer) {
+	t := trace.NewTable("E11: transparent compression by data class (Table 8.1; 120 KB each, double proxy)",
+		"data class", "payload KB", "wireless KB", "ratio", "intact")
+	classes := []struct {
+		name string
+		data []byte
+	}{
+		{"text (repetitive)", repeatText(120_000)},
+		{"image (random pixels)", randomBytes(7, 120_000)},
+		{"binary (structured)", structured(120_000)},
+	}
+	for _, cl := range classes {
+		sys := core.NewSystem(core.Config{
+			Seed: 11, DoubleProxy: true,
+			Wireless: netsim.LinkConfig{Bandwidth: 2e6, Delay: 20 * time.Millisecond},
+		})
+		for _, c := range []string{"load tcp", "load ttsf", "load comp", "load launcher",
+			fmt.Sprintf("add launcher %v 0 %v 0 tcp ttsf comp:6", core.WiredAddr, core.MobileAddr)} {
+			sys.MustCommand(c)
+		}
+		for _, c := range []string{"load tcp", "load ttsf", "load decomp", "load launcher",
+			fmt.Sprintf("add launcher %v 0 %v 0 tcp ttsf decomp", core.WiredAddr, core.MobileAddr)} {
+			sys.MustCommandB(c)
+		}
+		res, err := sys.Transfer(cl.data, 7, 5001, 600*time.Second)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", cl.name, err)
+			continue
+		}
+		carried := sys.Wireless.StatsAB().Bytes
+		t.AddRow(cl.name, res.Sent/1000, carried/1000,
+			float64(carried)/float64(res.Sent), bytes.Equal(res.Received, cl.data))
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: text compresses hard, structured binary some, random data not at all (stored frames).")
+}
+
+// structured builds binary data with redundancy (repeating records).
+func structured(n int) []byte {
+	rec := make([]byte, 64)
+	for i := range rec {
+		rec[i] = byte(i * 7)
+	}
+	b := make([]byte, 0, n+64)
+	for len(b) < n {
+		rec[0]++
+		b = append(b, rec...)
+	}
+	return b[:n]
+}
+
+func runE12(w io.Writer) {
+	t := trace.NewTable("E12: hierarchical discard (4-layer media, 25 fps, 300 B base; 800 kb/s wireless)",
+		"mode", "base frames on time", "all frames delivered", "wireless KB", "mean base lateness (ms)")
+	for _, mode := range []string{"no discard", "discard >1", "discard >0"} {
+		sys := core.NewSystem(core.Config{
+			Seed:     12,
+			Wireless: netsim.LinkConfig{Bandwidth: 800e3, Delay: 10 * time.Millisecond, QueueLen: 30},
+		})
+		switch mode {
+		case "discard >1":
+			sys.MustCommand("load discard")
+			sys.MustCommand(fmt.Sprintf("add discard %v 4000 %v 4001 1", core.WiredAddr, core.MobileAddr))
+		case "discard >0":
+			sys.MustCommand("load discard")
+			sys.MustCommand(fmt.Sprintf("add discard %v 4000 %v 4001 0", core.WiredAddr, core.MobileAddr))
+		}
+		const frames = 250
+		const interval = 40 * time.Millisecond // 25 fps
+		src := media.NewLayeredSource(4, 300, 12)
+		sent := map[uint32]sim.Time{}
+		baseOnTime, delivered := 0, 0
+		var lateness time.Duration
+		sys.MobileUDP.Bind(4001, func(_ ip.Addr, _ uint16, payload []byte) {
+			f, err := media.UnmarshalFrame(payload)
+			if err != nil {
+				return
+			}
+			delivered++
+			if f.Layer == 0 {
+				late := sys.Sched.Now().Sub(sent[f.Seq])
+				lateness += late
+				if late < 100*time.Millisecond {
+					baseOnTime++
+				}
+			}
+		})
+		n := 0
+		var tick func()
+		tick = func() {
+			fs := src.Next()
+			sent[fs[0].Seq] = sys.Sched.Now()
+			for _, f := range fs {
+				sys.WiredUDP.Send(4000, core.MobileAddr, 4001, media.MarshalFrame(f))
+			}
+			n++
+			if n < frames {
+				sys.Sched.After(interval, tick)
+			}
+		}
+		sys.Sched.After(0, tick)
+		sys.Sched.RunFor(time.Duration(frames)*interval + 5*time.Second)
+		meanLate := 0.0
+		if baseOnTime > 0 {
+			meanLate = lateness.Seconds() * 1000 / frames
+		}
+		t.AddRow(mode, fmt.Sprintf("%d/%d", baseOnTime, frames), delivered,
+			sys.Wireless.StatsAB().Bytes/1000, meanLate)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: without discard the queue swamps the base layer; discarding enhancement layers restores real-time delivery.")
+}
+
+func runE13(w io.Writer) {
+	// Reuses the Mobile IP topology of the package tests, scripted.
+	s := sim.NewScheduler(13)
+	n := netsim.New(s)
+	corr := n.AddNode("correspondent")
+	inet := n.AddNode("internet")
+	haN := n.AddNode("ha")
+	faN := n.AddNode("fa")
+	mobN := n.AddNode("mobile")
+	for _, nd := range []*netsim.Node{inet, haN, faN} {
+		nd.Forwarding = true
+	}
+	corrA := ip.MustParseAddr("1.1.1.1")
+	haA := ip.MustParseAddr("10.0.0.254")
+	mobHome := ip.MustParseAddr("10.0.0.99")
+	faCareOf := ip.MustParseAddr("20.0.0.254")
+	wire := netsim.LinkConfig{Bandwidth: 100e6, Delay: 15 * time.Millisecond}
+	lc := n.Connect(corr, corrA, inet, ip.MustParseAddr("1.1.1.254"), wire)
+	lh := n.Connect(inet, ip.MustParseAddr("10.0.1.1"), haN, haA, netsim.LinkConfig{Bandwidth: 100e6, Delay: 40 * time.Millisecond})
+	lf := n.Connect(inet, ip.MustParseAddr("20.0.1.1"), faN, faCareOf, wire)
+	corr.AddDefaultRoute(lc.IfaceA())
+	inet.AddRoute(ip.MustParseAddr("10.0.0.0"), 16, lh.IfaceA())
+	inet.AddRoute(ip.MustParseAddr("20.0.0.0"), 16, lf.IfaceA())
+	inet.AddRoute(ip.MustParseAddr("1.1.1.0"), 24, lc.IfaceB())
+	haN.AddDefaultRoute(lh.IfaceB())
+	faN.AddDefaultRoute(lf.IfaceB())
+	ha := mobileip.NewHomeAgent(haN)
+	fa := mobileip.NewForeignAgent(faN, faCareOf)
+	mob := mobileip.NewMobile(mobN, haA, mobHome)
+	n.Connect(faN, ip.MustParseAddr("20.0.0.1"), mobN, mobHome,
+		netsim.LinkConfig{Bandwidth: 2e6, Delay: 10 * time.Millisecond})
+	mobN.AddDefaultRoute(mobN.Ifaces()[0])
+	fa.StartAdvertising(500 * time.Millisecond)
+	s.RunFor(2 * time.Second)
+	fa.StopAdvertising()
+	_ = mob
+
+	var arrive sim.Time
+	mobN.RegisterProto(ip.ProtoUDP, func(ip.Header, []byte, []byte, *netsim.Iface) { arrive = s.Now() })
+	start := s.Now()
+	corr.SendIP(mobHome, ip.ProtoUDP, []byte("x"))
+	s.RunFor(time.Second)
+	triangular := arrive.Sub(start)
+
+	bc := mobileip.NewBindingCache(corr)
+	bc.Learn(mobHome, faCareOf, time.Minute)
+	send := bc.WrapSend()
+	start = s.Now()
+	send(mobHome, ip.ProtoUDP, []byte("y"))
+	s.RunFor(time.Second)
+	direct := arrive.Sub(start)
+
+	t := trace.NewTable("E13a: triangular routing vs binding-cache route optimization",
+		"path", "one-way delivery (ms)")
+	t.AddRow("via home agent (triangular)", triangular.Seconds()*1000)
+	t.AddRow("direct tunnel (binding cache)", direct.Seconds()*1000)
+	t.Fprint(w)
+	fmt.Fprintf(w, "home agent tunneled %d packets\n\n", ha.Tunneled)
+
+	// Handoff gap: packets sent during the gap are lost.
+	t2 := trace.NewTable("E13b: packet loss across the handoff gap (20 pkts at 25 ms spacing)",
+		"scenario", "delivered", "lost")
+	delivered := 0
+	mobN.RegisterProto(ip.ProtoUDP, func(ip.Header, []byte, []byte, *netsim.Iface) { delivered++ })
+	for i := 0; i < 20; i++ {
+		s.After(time.Duration(i)*25*time.Millisecond, func() {
+			corr.SendIP(mobHome, ip.ProtoUDP, []byte("stream"))
+		})
+	}
+	// Gap: detach at 100 ms, reattach + re-register at 350 ms.
+	s.After(100*time.Millisecond, func() { mobN.Ifaces()[0].Link().SetDown(true) })
+	s.After(350*time.Millisecond, func() {
+		mobN.Ifaces()[0].Link().SetDown(false)
+		mob.Solicit()
+	})
+	s.RunFor(3 * time.Second)
+	t2.AddRow("250 ms outage during 500 ms stream", delivered, 20-delivered)
+	t2.Fprint(w)
+}
+
+func runE14(w io.Writer) {
+	t := trace.NewTable("E14: data-type translation (§8.3.3)",
+		"translation", "bytes in", "bytes out", "ratio", "semantics")
+	// Colour → monochrome image tiles.
+	sys := core.NewSystem(core.Config{Seed: 14})
+	sys.MustCommand("load translate")
+	sys.MustCommand(fmt.Sprintf("add translate %v 4000 %v 4001 mono", core.WiredAddr, core.MobileAddr))
+	var outBytes int
+	monoOK := true
+	sys.MobileUDP.Bind(4001, func(_ ip.Addr, _ uint16, payload []byte) {
+		outBytes += len(payload)
+		tile, err := media.UnmarshalTile(payload)
+		if err != nil || tile.Mode != media.ModeMono {
+			monoOK = false
+		}
+	})
+	inBytes := 0
+	for _, tile := range media.TestImageTiles(128, 128, 8, 14) {
+		b, _ := media.MarshalTile(tile)
+		inBytes += len(b)
+		sys.WiredUDP.Send(4000, core.MobileAddr, 4001, b)
+		sys.Sched.RunFor(10 * time.Millisecond)
+	}
+	sys.Sched.RunFor(time.Second)
+	t.AddRow("RGB image -> mono", inBytes, outBytes, float64(outBytes)/float64(inBytes),
+		fmt.Sprintf("all tiles mono: %v", monoOK))
+
+	// Rich text → ASCII.
+	sys2 := core.NewSystem(core.Config{Seed: 15})
+	sys2.MustCommand("load translate")
+	sys2.MustCommand(fmt.Sprintf("add translate %v 4000 %v 4001 ascii", core.WiredAddr, core.MobileAddr))
+	var asciiOut []byte
+	sys2.MobileUDP.Bind(4001, func(_ ip.Addr, _ uint16, payload []byte) {
+		asciiOut = append(asciiOut, payload...)
+	})
+	text := "Transparent communication management in wireless networks."
+	rich := media.EncodeRich(text, 0x17)
+	sys2.WiredUDP.Send(4000, core.MobileAddr, 4001, rich)
+	sys2.Sched.RunFor(time.Second)
+	t.AddRow("rich text -> ASCII", len(rich), len(asciiOut), float64(len(asciiOut))/float64(len(rich)),
+		fmt.Sprintf("text preserved: %v", string(asciiOut) == text))
+	t.Fprint(w)
+}
+
+func runE15(w io.Writer) {
+	t := trace.NewTable("E15: proxy forwarding cost vs filter-queue depth (2 MB transfer, best of 3)",
+		"filters in queue", "packets through proxy", "wall µs/packet", "relative")
+	filterQueueCost(2) // warm up the process before measuring
+	base := 0.0
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		pkts, usPerPkt := filterQueueCost(depth)
+		if depth == 0 {
+			base = usPerPkt
+		}
+		rel := 0.0
+		if base > 0 {
+			rel = usPerPkt / base
+		}
+		t.AddRow(depth, pkts, usPerPkt, rel)
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nend-to-end cost is dominated by the simulator; isolated filter-queue cost:")
+	t2 := trace.NewTable("", "filters in queue", "ns/packet (hook only)", "relative")
+	base = 0.0
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		ns := hookCost(depth)
+		if depth == 0 {
+			base = ns
+		}
+		t2.AddRow(depth, ns, ns/base)
+	}
+	t2.Fprint(w)
+}
+
+// hookCost drives the proxy's interception hook directly with a
+// prepared TCP data packet, isolating the filter-queue mechanism from
+// the rest of the simulation.
+func hookCost(depth int) float64 {
+	sys := core.NewSystem(core.Config{Seed: 17})
+	sys.MustCommand("load tcp")
+	key := fmt.Sprintf("%v 7 %v 5001", core.WiredAddr, core.MobileAddr)
+	sys.MustCommand("add tcp " + key)
+	if depth > 0 {
+		sys.MustCommand("load rdrop")
+		for i := 0; i < depth; i++ {
+			sys.MustCommand(fmt.Sprintf("add rdrop %s 0", key))
+		}
+	}
+	seg := tcp.Segment{SrcPort: 7, DstPort: 5001, Seq: 1, Ack: 1,
+		Flags: tcp.FlagACK, Window: 65535, Payload: pattern(1000)}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: core.WiredAddr, Dst: core.MobileAddr}
+	raw, _ := h.Marshal(seg.Marshal(core.WiredAddr, core.MobileAddr))
+	hook := sys.ProxyHost.PacketHook()
+	in := sys.ProxyHost.Ifaces()[0]
+	const iters = 200_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		hook(raw, in)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+// filterQueueCost measures per-packet wall-clock cost through a queue
+// of depth no-op service filters (rdrop at 0%), plus the tcp filter.
+// The best of several repetitions is reported; single runs at this
+// scale are dominated by scheduler noise.
+func filterQueueCost(depth int) (pkts int64, usPerPkt float64) {
+	best := -1.0
+	for rep := 0; rep < 3; rep++ {
+		sys := core.NewSystem(core.Config{Seed: 16,
+			Wireless: netsim.LinkConfig{Bandwidth: 100e6, Delay: time.Millisecond}})
+		sys.MustCommand("load tcp")
+		sys.MustCommand("load launcher")
+		svc := "tcp"
+		if depth > 0 {
+			sys.MustCommand("load rdrop")
+			for i := 0; i < depth; i++ {
+				svc += " rdrop:0"
+			}
+		}
+		sys.MustCommand(fmt.Sprintf("add launcher %v 0 %v 0 %s", core.WiredAddr, core.MobileAddr, svc))
+		start := time.Now()
+		res, err := sys.Transfer(pattern(2_000_000), 7, 5001, 120*time.Second)
+		if err != nil || !res.Completed {
+			return 0, -1
+		}
+		pkts = sys.Proxy.Stats.Intercepted
+		us := float64(time.Since(start).Microseconds()) / float64(pkts)
+		if best < 0 || us < best {
+			best = us
+		}
+	}
+	return pkts, best
+}
+
+func runE16(w io.Writer) {
+	sys := core.NewSystem(core.Config{
+		Seed:     99,
+		Wireless: netsim.LinkConfig{Bandwidth: 5e6, Delay: 10 * time.Millisecond, Loss: netsim.Bernoulli{P: 0.03}, QueueLen: 500},
+	})
+	for _, c := range []string{"load tcp", "load ttsf", "load rdrop", "load launcher",
+		fmt.Sprintf("add launcher %v 0 %v 0 tcp ttsf rdrop:40", core.WiredAddr, core.MobileAddr)} {
+		sys.MustCommand(c)
+	}
+	payload := pattern(100_000)
+	res, err := sys.Transfer(payload, 7, 5001, 600*time.Second)
+	if err != nil {
+		fmt.Fprintf(w, "transfer: %v\n", err)
+		return
+	}
+	completed := res.Client.State() == tcp.StateClosed || res.Client.State() == tcp.StateTimeWait
+	subseq := isSubsequence(res.Received, payload)
+	fmt.Fprintf(w, "seeded instance (3%% wireless loss + 40%% permanent rdrop under TTSF):\n")
+	fmt.Fprintf(w, "  sender completed cleanly:        %v\n", completed)
+	fmt.Fprintf(w, "  receiver stream ⊆ original:      %v (%d of %d bytes)\n", subseq, len(res.Received), res.Sent)
+	fmt.Fprintln(w, "full randomized property: go test ./internal/filters -run TestTTSFPropertyRandomTransformations")
+}
+
+func isSubsequence(got, want []byte) bool {
+	gi := 0
+	for wi := 0; wi < len(want) && gi < len(got); wi++ {
+		if want[wi] == got[gi] {
+			gi++
+		}
+	}
+	return gi == len(got)
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/filters"
+	"repro/internal/ip"
+	"repro/internal/tcp"
+)
+
+// dropNth is a deterministic transparency-demo service filter: it
+// drops exactly the nth data segment of the stream (1-based). It
+// stands in for rdrop when an experiment needs a reproducible trace
+// (Fig 8.3's worked example drops one specific packet).
+type dropNth struct{}
+
+func (*dropNth) Name() string              { return "dropnth" }
+func (*dropNth) Priority() filter.Priority { return filter.Low }
+func (*dropNth) Description() string       { return "drops exactly the nth data segment" }
+
+func (f *dropNth) New(env filter.Env, k filter.Key, args []string) error {
+	n := 2
+	if len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			return fmt.Errorf("dropnth: bad segment index %q", args[0])
+		}
+		n = v
+	}
+	seen := 0
+	dropped := false
+	_, err := env.Attach(k, filter.Hooks{
+		Filter: "dropnth", Priority: filter.Low,
+		Out: func(p *filter.Packet) {
+			if p.TCP == nil || len(p.TCP.Payload) == 0 || p.Dropped() {
+				return
+			}
+			if dropped {
+				return
+			}
+			seen++
+			if seen == n {
+				dropped = true
+				p.Drop()
+			}
+		},
+	})
+	return err
+}
+
+// registerExtras adds the experiment-only filters to a system catalog.
+func registerExtras(sys *core.System) {
+	sys.Catalog.Register("dropnth", func() filter.Factory { return &dropNth{} })
+}
+
+// segTracer records a one-line-per-segment trace at a stack, with
+// sequence numbers rebased to the first SYN seen in each direction so
+// traces read like the thesis figures (segments start at 1).
+type segTracer struct {
+	w     io.Writer
+	label string
+	base  map[string]uint32 // "src>dst" -> ISS
+	lines int
+	max   int
+}
+
+func newSegTracer(w io.Writer, label string, max int) *segTracer {
+	return &segTracer{w: w, label: label, base: make(map[string]uint32), max: max}
+}
+
+// hook returns an OnSegment callback for a tcp.Stack.
+func (st *segTracer) hook() func(send bool, src, dst ip.Addr, seg *tcp.Segment) {
+	return func(send bool, src, dst ip.Addr, seg *tcp.Segment) {
+		dirKey := src.String() + ">" + dst.String()
+		revKey := dst.String() + ">" + src.String()
+		if seg.Flags&tcp.FlagSYN != 0 {
+			st.base[dirKey] = seg.Seq
+			if seg.Flags&tcp.FlagACK != 0 {
+				// SYN-ACK: ack rebases against the other direction.
+			}
+		}
+		if st.lines >= st.max {
+			return
+		}
+		st.lines++
+		rel := seg.Seq - st.base[dirKey]
+		relAck := seg.Ack - st.base[revKey]
+		dir := "rcv"
+		if send {
+			dir = "snd"
+		}
+		fmt.Fprintf(st.w, "  %-6s %s: seq=%d len=%d ack=%d [%s]\n",
+			st.label, dir, rel, len(seg.Payload), relAck, seg.FlagString())
+	}
+}
+
+// runControlScript opens a control session from the wired host to the
+// proxy's SP port, sends each command, and renders a telnet-style
+// transcript (thesis Fig 5.3).
+func runControlScript(w io.Writer, sys *core.System, commands []string) {
+	conn, err := sys.WiredTCP.Connect(core.ProxyCtrlAddr, 12000)
+	if err != nil {
+		fmt.Fprintf(w, "connect: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "wired:~> telnet %v 12000\n", core.ProxyCtrlAddr)
+	fmt.Fprintf(w, "Trying %v...\nConnected to proxy.\n", core.ProxyCtrlAddr)
+	var pending []string
+	conn.OnData = func(b []byte) {
+		for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+			fmt.Fprintln(w, line)
+		}
+	}
+	send := func() {
+		if len(pending) == 0 {
+			conn.Close()
+			return
+		}
+		cmd := pending[0]
+		pending = pending[1:]
+		fmt.Fprintln(w, cmd)
+		conn.Write([]byte(cmd + "\n"))
+	}
+	pending = commands
+	conn.OnEstablished = func() { send() }
+	// Pace commands so replies interleave in order.
+	for i := 0; i <= len(commands); i++ {
+		sys.Sched.RunFor(200 * time.Millisecond)
+		if i < len(commands) {
+			send()
+		}
+	}
+	fmt.Fprintln(w, "Connection closed.")
+}
+
+// pattern builds n bytes of deterministic, incompressible-ish data.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + i/253)
+	}
+	return b
+}
+
+// repeatText builds ~n bytes of highly compressible text.
+func repeatText(n int) []byte {
+	const chunk = "the quick brown fox jumps over the lazy dog. "
+	b := make([]byte, 0, n+len(chunk))
+	for len(b) < n {
+		b = append(b, chunk...)
+	}
+	return b[:n]
+}
+
+// randomBytes builds n bytes of seeded uniform noise (incompressible).
+func randomBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// parseAddr wraps ip.ParseAddr for dialers.
+func parseAddr(s string) (ip.Addr, error) { return ip.ParseAddr(s) }
+
+// filterKeyFor names the forward key of a Transfer stream to port 5001.
+func filterKeyFor(srcPort uint16) filter.Key {
+	return filter.Key{SrcIP: core.WiredAddr, SrcPort: srcPort,
+		DstIP: core.MobileAddr, DstPort: 5001}
+}
+
+// ttsfStats fetches TTSF stats for a stream key.
+func ttsfStats(k filter.Key) (filters.TTSFStats, bool) {
+	return filters.TTSFStatsFor(k)
+}
+
+// keepAliveStream opens a long-lived stream wired:7 -> mobile:1169
+// with a trickle of data so filter queues stay populated.
+func keepAliveStream(sys *core.System) *tcp.Conn {
+	sys.MobileTCP.Listen(1169, func(c *tcp.Conn) {})
+	client, err := sys.WiredTCP.ConnectFrom(7, core.MobileAddr, 1169)
+	if err != nil {
+		panic(err)
+	}
+	var trickle func()
+	trickle = func() {
+		if client.State() == tcp.StateEstablished {
+			client.Write([]byte("tick "))
+		}
+		sys.Sched.After(500*time.Millisecond, trickle)
+	}
+	client.OnEstablished = func() { sys.Sched.After(0, trickle) }
+	return client
+}

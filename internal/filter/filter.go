@@ -1,0 +1,372 @@
+// Package filter defines the Comma service-proxy filtering model of
+// thesis chapter 5: stream keys (with wild-cards), filter priorities,
+// the parsed packet view that filter methods inspect and rewrite, and
+// the Factory/Hooks contract by which filters attach "in" and "out"
+// methods to per-stream filter queues.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+)
+
+// Key identifies a unidirectional communication stream: the ordered
+// quadruple of source address/port and destination address/port
+// (thesis §5.2). Zero-valued fields act as wild-cards when the key is
+// used in the stream registry.
+type Key struct {
+	SrcIP   ip.Addr
+	SrcPort uint16
+	DstIP   ip.Addr
+	DstPort uint16
+}
+
+// Matches reports whether the (possibly wild-card) key k matches the
+// exact stream key e: every non-zero field of k must equal e's.
+func (k Key) Matches(e Key) bool {
+	return (k.SrcIP.IsZero() || k.SrcIP == e.SrcIP) &&
+		(k.SrcPort == 0 || k.SrcPort == e.SrcPort) &&
+		(k.DstIP.IsZero() || k.DstIP == e.DstIP) &&
+		(k.DstPort == 0 || k.DstPort == e.DstPort)
+}
+
+// Reverse returns the key of the stream in the opposite direction.
+func (k Key) Reverse() Key {
+	return Key{SrcIP: k.DstIP, SrcPort: k.DstPort, DstIP: k.SrcIP, DstPort: k.SrcPort}
+}
+
+// IsWild reports whether any field is a wild-card.
+func (k Key) IsWild() bool {
+	return k.SrcIP.IsZero() || k.SrcPort == 0 || k.DstIP.IsZero() || k.DstPort == 0
+}
+
+// String renders the key in the thesis's report format:
+// "11.11.10.99 7 -> 11.11.10.10 1169".
+func (k Key) String() string {
+	return fmt.Sprintf("%v %d -> %v %d", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort)
+}
+
+// ParseKey parses the four whitespace-separated fields of a key as
+// given to the SP "add" command: srcIP srcPort dstIP dstPort. Zeros
+// are wild-cards.
+func ParseKey(fields []string) (Key, error) {
+	var k Key
+	if len(fields) != 4 {
+		return k, fmt.Errorf("filter: key needs 4 fields, got %d", len(fields))
+	}
+	var err error
+	if k.SrcIP, err = ip.ParseAddr(fields[0]); err != nil {
+		return k, err
+	}
+	var p int
+	if _, err = fmt.Sscanf(fields[1], "%d", &p); err != nil || p < 0 || p > 65535 {
+		return k, fmt.Errorf("filter: bad source port %q", fields[1])
+	}
+	k.SrcPort = uint16(p)
+	if k.DstIP, err = ip.ParseAddr(fields[2]); err != nil {
+		return k, err
+	}
+	if _, err = fmt.Sscanf(fields[3], "%d", &p); err != nil || p < 0 || p > 65535 {
+		return k, fmt.Errorf("filter: bad destination port %q", fields[3])
+	}
+	k.DstPort = uint16(p)
+	return k, nil
+}
+
+// Priority orders filter methods within a queue (thesis §5.2):
+// high-priority filters read first on the in queue and write last on
+// the out queue, letting them override lower-priority modifications.
+type Priority int
+
+// Priorities used by the thesis's example filters.
+const (
+	Lowest  Priority = 0  // wsize
+	Low     Priority = 25 // rdrop
+	Normal  Priority = 50
+	High    Priority = 75  // tcp bookkeeping filter
+	Highest Priority = 100 // launcher
+)
+
+func (p Priority) String() string {
+	switch p {
+	case Lowest:
+		return "LOWEST"
+	case Low:
+		return "LOW"
+	case Normal:
+		return "NORMAL"
+	case High:
+		return "HIGH"
+	case Highest:
+		return "HIGHEST"
+	}
+	return fmt.Sprintf("Priority(%d)", int(p))
+}
+
+// Packet is the parsed view of an intercepted IP datagram that filter
+// methods operate on. In methods must treat it as read-only; out
+// methods may rewrite header fields and payload and must call
+// MarkDirty so a re-marshalling filter (the tcp filter) or the proxy
+// knows the raw bytes are stale.
+type Packet struct {
+	Raw []byte        // datagram as intercepted (stale once dirty)
+	IP  ip.Header     // decoded network header
+	TCP *tcp.Segment  // decoded transport header; nil for non-TCP
+	UDP *udp.Datagram // decoded UDP datagram; nil for non-UDP
+	// Data is the raw transport payload for protocols the proxy does
+	// not decode; for TCP/UDP use the decoded views.
+	Data []byte
+	Key  Key
+
+	dropped bool
+	dirty   bool
+	injects [][]byte
+}
+
+// Parse decodes a raw IP datagram into a Packet. TCP segments are
+// decoded when the protocol is TCP and the bytes parse; otherwise TCP
+// stays nil and the transport payload is exposed via Data.
+func Parse(raw []byte) (*Packet, error) {
+	h, payload, err := ip.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{Raw: raw, IP: h, Data: payload}
+	p.Key = Key{SrcIP: h.Src, DstIP: h.Dst}
+	switch h.Protocol {
+	case ip.ProtoTCP:
+		if seg, err := tcp.Unmarshal(payload); err == nil {
+			p.TCP = &seg
+			p.Key.SrcPort = seg.SrcPort
+			p.Key.DstPort = seg.DstPort
+		}
+	case ip.ProtoUDP:
+		if d, err := udp.Unmarshal(payload); err == nil {
+			p.UDP = &d
+			p.Key.SrcPort = d.SrcPort
+			p.Key.DstPort = d.DstPort
+		}
+	}
+	return p, nil
+}
+
+// Drop marks the packet to be discarded instead of reinjected.
+func (p *Packet) Drop() { p.dropped = true }
+
+// Dropped reports whether an out method dropped the packet.
+func (p *Packet) Dropped() bool { return p.dropped }
+
+// MarkDirty records that decoded fields were modified and Raw is
+// stale.
+func (p *Packet) MarkDirty() { p.dirty = true }
+
+// Dirty reports whether the packet was modified since interception.
+func (p *Packet) Dirty() bool { return p.dirty }
+
+// Remarshal rebuilds Raw from the decoded headers with fresh IP and
+// TCP checksums, clearing the dirty mark. This is what the thesis's
+// "tcp" filter does as the highest-priority out method.
+func (p *Packet) Remarshal() error {
+	var payload []byte
+	switch {
+	case p.TCP != nil:
+		payload = p.TCP.Marshal(p.IP.Src, p.IP.Dst)
+	case p.UDP != nil:
+		payload = p.UDP.Marshal(p.IP.Src, p.IP.Dst)
+	default:
+		payload = p.Data
+	}
+	raw, err := p.IP.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	p.Raw = raw
+	p.dirty = false
+	return nil
+}
+
+// Encode marshals the packet's current decoded state into a fresh
+// byte slice with correct checksums, without touching Raw or the dirty
+// mark. Filters use it to snapshot a packet (e.g. the snoop cache)
+// mid-queue, when Raw may be stale.
+func (p *Packet) Encode() ([]byte, error) {
+	var payload []byte
+	switch {
+	case p.TCP != nil:
+		seg := *p.TCP
+		payload = seg.Marshal(p.IP.Src, p.IP.Dst)
+	case p.UDP != nil:
+		d := *p.UDP
+		payload = d.Marshal(p.IP.Src, p.IP.Dst)
+	default:
+		payload = p.Data
+	}
+	h := p.IP
+	return h.Marshal(payload)
+}
+
+// RemarshalStale rebuilds Raw from the decoded headers while
+// preserving the checksum values read off the wire. This models the
+// thesis's in-place packet editing: a filter that changes a header
+// field without recomputing checksums puts a now-invalid checksum on
+// the wire, and the receiver discards the segment. The proxy applies
+// this to dirty packets that no filter remarshalled — which is exactly
+// why the "tcp" bookkeeping filter exists.
+func (p *Packet) RemarshalStale() error {
+	var staleTCP uint16
+	if p.TCP != nil {
+		staleTCP = p.TCP.Checksum
+	}
+	staleIP := p.IP.Checksum
+	if err := p.Remarshal(); err != nil {
+		return err
+	}
+	hl := p.IP.HeaderLength()
+	p.Raw[10], p.Raw[11] = byte(staleIP>>8), byte(staleIP)
+	p.IP.Checksum = staleIP
+	if p.TCP != nil && len(p.Raw) >= hl+18 {
+		p.Raw[hl+16], p.Raw[hl+17] = byte(staleTCP>>8), byte(staleTCP)
+		p.TCP.Checksum = staleTCP
+	}
+	return nil
+}
+
+// Inject queues an additional raw datagram for the proxy to emit
+// alongside (or instead of) this packet. Snoop uses this for local
+// retransmissions; wsize uses it for window-update packets.
+func (p *Packet) Inject(raw []byte) { p.injects = append(p.injects, raw) }
+
+// Injections returns packets queued by Inject.
+func (p *Packet) Injections() [][]byte { return p.injects }
+
+// Hooks are the methods one filter instance contributes to the filter
+// queue of one exact stream key (thesis Fig 5.2: each filter supplies
+// an in method and an out method per key).
+type Hooks struct {
+	// Filter is the owning filter's name, used by accounting/report.
+	Filter string
+	// Priority places the methods within the queue. Defaults to the
+	// factory's priority when attached through an Env.
+	Priority Priority
+	// In inspects the packet; it must not modify it.
+	In func(p *Packet)
+	// Out may modify or drop the packet.
+	Out func(p *Packet)
+	// OnClose is called when the stream's queue is torn down or the
+	// filter is deleted from the key.
+	OnClose func()
+}
+
+// Env is the service the proxy provides to filter instances: queue
+// attachment, packet injection, stream teardown, timers, and logging.
+type Env interface {
+	// Clock returns the scheduler, for filter timers.
+	Clock() *sim.Scheduler
+	// Attach splices hooks into the filter queue of the exact key k,
+	// creating the queue if needed. It returns a detach function.
+	Attach(k Key, h Hooks) (detach func(), err error)
+	// RemoveStream tears down the filter queue for exact key k,
+	// closing all attached hooks. The tcp filter calls this at stream
+	// close.
+	RemoveStream(k Key)
+	// Inject emits a raw datagram from the proxy node outside the
+	// context of an intercepted packet (timer-driven retransmissions).
+	Inject(raw []byte)
+	// Logf records a diagnostic line in the proxy log.
+	Logf(format string, args ...any)
+}
+
+// Metrics is implemented by Envs that can answer execution-environment
+// queries — the EEM integration of thesis chapter 6 ("EEM clients run
+// as user-level threads which can form part of an application or even
+// of SP filters"). Adaptive filters obtain it by type-asserting their
+// Env; absence means no monitor is wired and the filter should fall
+// back to static behaviour.
+type Metrics interface {
+	// Metric returns the current numeric value of a local
+	// execution-environment variable (Table 6.1/6.2 names).
+	Metric(name string, index int) (float64, bool)
+}
+
+// Spawner is implemented by Envs that can instantiate other loaded
+// filters on a stream — the capability behind the launcher filter,
+// which applies a configured set of services to each new stream
+// matching its wild-card key. Filters obtain it by type-asserting
+// their Env.
+type Spawner interface {
+	Spawn(name string, k Key, args []string) error
+}
+
+// Factory creates filter instances. New is the thesis's "insertion
+// method": called when a stream matching a registered key first
+// appears (or when a filter is added to an existing stream), it
+// attaches hooks to the trigger key and to any related keys — most
+// filters also attach to the reverse direction.
+type Factory interface {
+	// Name is the identifier used in SP commands ("rdrop", "wsize"...).
+	Name() string
+	// Priority is the default queue priority for the filter's hooks.
+	Priority() Priority
+	// Description is a one-line summary for the report command.
+	Description() string
+	// New instantiates the filter for the stream identified by
+	// trigger, attaching hooks via env. args come verbatim from the
+	// "add" command.
+	New(env Env, trigger Key, args []string) error
+}
+
+// Catalog is a registry of loadable filter factories — the stand-in
+// for the thesis's dynamically loaded (dlopen) filter library files.
+// The SP "load" command fetches factories from here by name.
+type Catalog struct {
+	mu        sync.Mutex
+	factories map[string]func() Factory
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{factories: make(map[string]func() Factory)}
+}
+
+// Register adds a factory constructor under its name. Constructors are
+// invoked once per proxy "load" so each proxy gets fresh state.
+func (c *Catalog) Register(name string, ctor func() Factory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.factories[name] = ctor
+}
+
+// Load instantiates the named factory.
+func (c *Catalog) Load(name string) (Factory, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctor, ok := c.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("filter: no factory %q in catalog (have %s)",
+			name, strings.Join(c.names(), ", "))
+	}
+	return ctor(), nil
+}
+
+// Names lists registered factory names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.names()
+}
+
+func (c *Catalog) names() []string {
+	out := make([]string, 0, len(c.factories))
+	for n := range c.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

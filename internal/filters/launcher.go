@@ -1,0 +1,43 @@
+package filters
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/filter"
+)
+
+// launcher is the thesis's launcher filter: registered on a wild-card
+// key, it "adds filters to new streams which match its wild-card key"
+// (§5.3.2). Its arguments name the services to apply; each may carry
+// its own arguments separated by colons, e.g.
+//
+//	add launcher 0.0.0.0 0 11.11.10.10 0 tcp wsize:cap:4096
+type launcher struct{}
+
+// NewLauncher returns the launcher filter factory.
+func NewLauncher() filter.Factory { return &launcher{} }
+
+func (*launcher) Name() string              { return "launcher" }
+func (*launcher) Priority() filter.Priority { return filter.Highest }
+func (*launcher) Description() string {
+	return "applies configured services to each new matching stream"
+}
+
+func (f *launcher) New(env filter.Env, k filter.Key, args []string) error {
+	sp, ok := env.(filter.Spawner)
+	if !ok {
+		return fmt.Errorf("launcher: environment cannot spawn filters")
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("launcher: no services configured")
+	}
+	for _, spec := range args {
+		parts := strings.Split(spec, ":")
+		name, svcArgs := parts[0], parts[1:]
+		if err := sp.Spawn(name, k, svcArgs); err != nil {
+			return fmt.Errorf("launcher: spawn %s on %v: %w", name, k, err)
+		}
+	}
+	return nil
+}

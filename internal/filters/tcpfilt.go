@@ -1,0 +1,103 @@
+package filters
+
+import (
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/tcp"
+)
+
+// tcpFilt is the thesis's "tcp" bookkeeping filter: it "watches TCP
+// streams, recalculating IP checksums as necessary and deleting all
+// filters associated with TCP streams when the stream closes"
+// (§5.3.2). It runs at HIGH priority so its out method executes last,
+// after every other filter's modifications.
+type tcpFilt struct{}
+
+// NewTCPFilt returns the tcp bookkeeping filter factory.
+func NewTCPFilt() filter.Factory { return &tcpFilt{} }
+
+func (*tcpFilt) Name() string              { return "tcp" }
+func (*tcpFilt) Priority() filter.Priority { return filter.High }
+func (*tcpFilt) Description() string {
+	return "TCP bookkeeping: checksum repair and stream teardown"
+}
+
+// closeGrace is how long after observing the stream close the filter
+// waits before tearing down the queues, letting retransmitted FINs and
+// final ACKs pass through filtered.
+const closeGrace = 5 * time.Second
+
+func (f *tcpFilt) New(env filter.Env, k filter.Key, args []string) error {
+	inst := &tcpFiltInst{env: env, fwd: k, rev: k.Reverse()}
+	var err error
+	inst.detachFwd, err = env.Attach(k, filter.Hooks{
+		Filter: "tcp", Priority: filter.High,
+		In:  func(p *filter.Packet) { inst.observe(p, true) },
+		Out: inst.repair,
+	})
+	if err != nil {
+		return err
+	}
+	inst.detachRev, err = env.Attach(inst.rev, filter.Hooks{
+		Filter: "tcp", Priority: filter.High,
+		In:  func(p *filter.Packet) { inst.observe(p, false) },
+		Out: inst.repair,
+	})
+	if err != nil {
+		inst.detachFwd()
+		return err
+	}
+	return nil
+}
+
+type tcpFiltInst struct {
+	env                  filter.Env
+	fwd, rev             filter.Key
+	detachFwd, detachRev func()
+	finFwd, finRev       bool
+	closing              bool
+}
+
+// repair re-marshals packets some lower-priority filter modified,
+// recomputing IP and TCP checksums.
+func (inst *tcpFiltInst) repair(p *filter.Packet) {
+	if p.Dirty() && !p.Dropped() {
+		if err := p.Remarshal(); err != nil {
+			inst.env.Logf("tcp: remarshal failed: %v", err)
+			p.Drop()
+		}
+	}
+}
+
+// observe tracks connection teardown: once FINs have been seen in both
+// directions, or a RST in either, the stream's filter queues are
+// removed after a grace period.
+func (inst *tcpFiltInst) observe(p *filter.Packet, forward bool) {
+	if p.TCP == nil || inst.closing {
+		return
+	}
+	if p.TCP.Flags&tcp.FlagRST != 0 {
+		inst.scheduleTeardown()
+		return
+	}
+	if p.TCP.Flags&tcp.FlagFIN != 0 {
+		if forward {
+			inst.finFwd = true
+		} else {
+			inst.finRev = true
+		}
+		if inst.finFwd && inst.finRev {
+			inst.scheduleTeardown()
+		}
+	}
+}
+
+func (inst *tcpFiltInst) scheduleTeardown() {
+	inst.closing = true
+	env, fwd, rev := inst.env, inst.fwd, inst.rev
+	env.Clock().After(closeGrace, func() {
+		env.RemoveStream(fwd)
+		env.RemoveStream(rev)
+	})
+}

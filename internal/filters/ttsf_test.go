@@ -1,0 +1,353 @@
+package filters_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/filters"
+	"repro/internal/ip"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// fakeEnv drives filter instances directly, recording attachments and
+// injections, so unit tests can feed hand-crafted packets through the
+// TTSF exactly as thesis Fig 8.2/8.3 traces do.
+type fakeEnv struct {
+	clock   *sim.Scheduler
+	hooks   map[filter.Key][]filter.Hooks
+	injects [][]byte
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{clock: sim.NewScheduler(1), hooks: make(map[filter.Key][]filter.Hooks)}
+}
+
+func (e *fakeEnv) Clock() *sim.Scheduler { return e.clock }
+func (e *fakeEnv) Attach(k filter.Key, h filter.Hooks) (func(), error) {
+	e.hooks[k] = append(e.hooks[k], h)
+	return func() {}, nil
+}
+func (e *fakeEnv) RemoveStream(k filter.Key)  { delete(e.hooks, k) }
+func (e *fakeEnv) Inject(raw []byte)          { e.injects = append(e.injects, raw) }
+func (e *fakeEnv) Logf(f string, args ...any) {}
+
+var (
+	uSender = ip.MustParseAddr("1.0.0.1")
+	uMobile = ip.MustParseAddr("2.0.0.2")
+	uKey    = filter.Key{SrcIP: uSender, SrcPort: 7, DstIP: uMobile, DstPort: 80}
+)
+
+// mkData builds a parsed forward data packet.
+func mkData(seq uint32, payload []byte) *filter.Packet {
+	seg := tcp.Segment{SrcPort: 7, DstPort: 80, Seq: seq, Ack: 1,
+		Flags: tcp.FlagACK, Window: 65535, Payload: payload}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: uSender, Dst: uMobile}
+	raw, _ := h.Marshal(seg.Marshal(uSender, uMobile))
+	p, _ := filter.Parse(raw)
+	return p
+}
+
+// mkAck builds a parsed reverse ACK from the mobile.
+func mkAck(ack uint32) *filter.Packet {
+	seg := tcp.Segment{SrcPort: 80, DstPort: 7, Seq: 1, Ack: ack,
+		Flags: tcp.FlagACK, Window: 65535}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: uMobile, Dst: uSender}
+	raw, _ := h.Marshal(seg.Marshal(uMobile, uSender))
+	p, _ := filter.Parse(raw)
+	return p
+}
+
+// ttsfUnit instantiates a TTSF on uKey and returns drivers for the
+// forward and reverse hooks.
+func ttsfUnit(t *testing.T) (env *fakeEnv, forward func(p *filter.Packet, service func(*filter.Packet)), reverse func(p *filter.Packet)) {
+	t.Helper()
+	env = newFakeEnv()
+	if err := filters.NewTTSF().New(env, uKey, nil); err != nil {
+		t.Fatal(err)
+	}
+	fh := env.hooks[uKey][0]
+	rh := env.hooks[uKey.Reverse()][0]
+	forward = func(p *filter.Packet, service func(*filter.Packet)) {
+		fh.In(p)
+		if service != nil {
+			service(p) // the lower-priority service filter's out method
+		}
+		fh.Out(p)
+	}
+	reverse = func(p *filter.Packet) { rh.Out(p) }
+	return env, forward, reverse
+}
+
+// TestTTSFDropTraceFig83 replays the §8.1.5 packet-dropping example:
+// three segments; the middle one is dropped by a service. The third
+// segment's sequence number shifts down by the dropped length, and the
+// mobile's final ack is translated up past the dropped bytes.
+func TestTTSFDropTraceFig83(t *testing.T) {
+	_, fwd, rev := ttsfUnit(t)
+
+	// seq 1: 100 bytes pass untouched.
+	p1 := mkData(1, bytes.Repeat([]byte{'a'}, 100))
+	fwd(p1, nil)
+	if p1.TCP.Seq != 1 || p1.Dropped() {
+		t.Fatalf("segment 1 modified: seq=%d dropped=%v", p1.TCP.Seq, p1.Dropped())
+	}
+
+	// Mobile acks the first segment.
+	a1 := mkAck(101)
+	rev(a1)
+	if a1.TCP.Ack != 101 {
+		t.Fatalf("identity ack translated: %d", a1.TCP.Ack)
+	}
+
+	// seq 101: 100 bytes dropped by the service filter.
+	p2 := mkData(101, bytes.Repeat([]byte{'b'}, 100))
+	fwd(p2, func(p *filter.Packet) { p.Drop() })
+	if !p2.Dropped() {
+		t.Fatal("drop not preserved")
+	}
+
+	// seq 201: 100 bytes; must appear at seq 101 on the wireless side.
+	p3 := mkData(201, bytes.Repeat([]byte{'c'}, 100))
+	fwd(p3, nil)
+	if p3.TCP.Seq != 101 {
+		t.Fatalf("segment 3 seq = %d, want 101", p3.TCP.Seq)
+	}
+
+	// Mobile acks everything it saw (new space 201 = a+c); the sender
+	// must hear ack 301 (a+b+c in original space).
+	a2 := mkAck(201)
+	rev(a2)
+	if a2.TCP.Ack != 301 {
+		t.Fatalf("ack translated to %d, want 301", a2.TCP.Ack)
+	}
+	if !a2.Dirty() {
+		t.Fatal("translated ack not marked dirty")
+	}
+}
+
+// TestTTSFSynthesizedAckForFrontierDrop: when the dropped segment is
+// the last data in flight, the TTSF must acknowledge it to the sender
+// itself, or the sender retransmits forever (§8.1.4).
+func TestTTSFSynthesizedAckForFrontierDrop(t *testing.T) {
+	env, fwd, rev := ttsfUnit(t)
+
+	p1 := mkData(1, bytes.Repeat([]byte{'a'}, 100))
+	fwd(p1, nil)
+	rev(mkAck(101)) // mobile acked everything so far; template captured
+
+	p2 := mkData(101, bytes.Repeat([]byte{'b'}, 50))
+	fwd(p2, func(p *filter.Packet) { p.Drop() })
+
+	if len(env.injects) != 1 {
+		t.Fatalf("synthesized %d acks, want 1", len(env.injects))
+	}
+	h, seg, err := ip.Unmarshal(env.injects[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Src != uMobile || h.Dst != uSender {
+		t.Fatalf("synth ack addressed %v -> %v", h.Src, h.Dst)
+	}
+	g, err := tcp.Unmarshal(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ack != 151 {
+		t.Fatalf("synth ack = %d, want 151", g.Ack)
+	}
+	if !tcp.VerifyChecksum(h.Src, h.Dst, seg) {
+		t.Fatal("synth ack has a bad checksum")
+	}
+}
+
+// TestTTSFShrinkTraceFig84 replays the §8.1.6 compression example: a
+// segment shrinks from 100 to 40 bytes; following traffic shifts by 60
+// and acks translate back.
+func TestTTSFShrinkTraceFig84(t *testing.T) {
+	_, fwd, rev := ttsfUnit(t)
+
+	small := bytes.Repeat([]byte{'z'}, 40)
+	p1 := mkData(1, bytes.Repeat([]byte{'x'}, 100))
+	fwd(p1, func(p *filter.Packet) {
+		p.TCP.Payload = small
+		p.MarkDirty()
+	})
+	if p1.TCP.Seq != 1 || len(p1.TCP.Payload) != 40 {
+		t.Fatalf("compressed segment wrong: seq=%d len=%d", p1.TCP.Seq, len(p1.TCP.Payload))
+	}
+
+	p2 := mkData(101, bytes.Repeat([]byte{'y'}, 100))
+	fwd(p2, nil)
+	if p2.TCP.Seq != 41 {
+		t.Fatalf("following segment seq = %d, want 41", p2.TCP.Seq)
+	}
+
+	// Partial ack inside the compressed range claims nothing (must be
+	// checked before any larger ack arrives, since later acks prune
+	// the edit log).
+	a2 := mkAck(21)
+	rev(a2)
+	if a2.TCP.Ack != 1 {
+		t.Fatalf("partial ack translated to %d, want 1", a2.TCP.Ack)
+	}
+	// Mobile acks the compressed first segment only: 41 (new) -> 101
+	// (orig, upper preimage).
+	a1 := mkAck(41)
+	rev(a1)
+	if a1.TCP.Ack != 101 {
+		t.Fatalf("ack 41 translated to %d, want 101", a1.TCP.Ack)
+	}
+	// Full ack of both segments: 141 (new) -> 201 (orig).
+	a3 := mkAck(141)
+	rev(a3)
+	if a3.TCP.Ack != 201 {
+		t.Fatalf("ack 141 translated to %d, want 201", a3.TCP.Ack)
+	}
+}
+
+// TestTTSFRetransmissionReconstruction: a retransmitted segment that
+// was previously transformed must be re-emitted with the identical
+// transformation and remapped sequence number, even if the service
+// filter behaves differently this time (§8.1.4).
+func TestTTSFRetransmissionReconstruction(t *testing.T) {
+	_, fwd, _ := ttsfUnit(t)
+
+	orig := bytes.Repeat([]byte{'q'}, 100)
+	shrunk := bytes.Repeat([]byte{'s'}, 30)
+	p1 := mkData(1, orig)
+	fwd(p1, func(p *filter.Packet) {
+		p.TCP.Payload = shrunk
+		p.MarkDirty()
+	})
+
+	// Retransmission of the same range; this time the service mangles
+	// it differently — the TTSF must ignore that and reproduce the
+	// original transformation.
+	p1r := mkData(1, orig)
+	fwd(p1r, func(p *filter.Packet) {
+		p.TCP.Payload = []byte("different!")
+		p.MarkDirty()
+	})
+	if p1r.Dropped() {
+		t.Fatal("reconstructable retransmission dropped")
+	}
+	if !bytes.Equal(p1r.TCP.Payload, shrunk) {
+		t.Fatalf("retransmission not reconstructed: %q", p1r.TCP.Payload)
+	}
+	if p1r.TCP.Seq != 1 {
+		t.Fatalf("retransmission seq = %d", p1r.TCP.Seq)
+	}
+}
+
+// TestTTSFRetransmissionSpanningIdentityAndEdit: a retransmission
+// covering an identity region followed by an edited region is rebuilt
+// from packet bytes plus the edit log.
+func TestTTSFRetransmissionSpanningIdentityAndEdit(t *testing.T) {
+	_, fwd, _ := ttsfUnit(t)
+
+	a := bytes.Repeat([]byte{'a'}, 50)
+	b := bytes.Repeat([]byte{'b'}, 50)
+	bShrunk := bytes.Repeat([]byte{'B'}, 20)
+
+	p1 := mkData(1, a)
+	fwd(p1, nil) // identity
+	p2 := mkData(51, b)
+	fwd(p2, func(p *filter.Packet) { p.TCP.Payload = bShrunk; p.MarkDirty() })
+
+	// Retransmit [1,101) in one segment.
+	both := append(append([]byte{}, a...), b...)
+	pr := mkData(1, both)
+	fwd(pr, nil)
+	want := append(append([]byte{}, a...), bShrunk...)
+	if !bytes.Equal(pr.TCP.Payload, want) {
+		t.Fatalf("spanning reconstruction wrong: got %d bytes, want %d", len(pr.TCP.Payload), len(want))
+	}
+	if pr.TCP.Seq != 1 {
+		t.Fatalf("seq = %d", pr.TCP.Seq)
+	}
+}
+
+// TestTTSFDroppedRangeRetransmission: retransmitting a fully dropped
+// range is re-dropped and re-acked.
+func TestTTSFDroppedRangeRetransmission(t *testing.T) {
+	env, fwd, rev := ttsfUnit(t)
+	p1 := mkData(1, bytes.Repeat([]byte{'a'}, 100))
+	fwd(p1, nil)
+	rev(mkAck(101))
+	p2 := mkData(101, bytes.Repeat([]byte{'b'}, 100))
+	fwd(p2, func(p *filter.Packet) { p.Drop() })
+	n := len(env.injects)
+	if n != 1 {
+		t.Fatalf("expected 1 synthesized ack, got %d", n)
+	}
+	// Sender missed the synth ack and retransmits the dropped range.
+	p2r := mkData(101, bytes.Repeat([]byte{'b'}, 100))
+	fwd(p2r, nil)
+	if !p2r.Dropped() {
+		t.Fatal("retransmission of dropped range not re-dropped")
+	}
+	if len(env.injects) != n+1 {
+		t.Fatalf("covering ack not re-asserted: %d injects", len(env.injects))
+	}
+}
+
+// TestTTSFPureAckAndFinRemapping: forward segments without payload
+// (pure ACKs, FIN) get their sequence numbers remapped too.
+func TestTTSFPureAckFinRemap(t *testing.T) {
+	_, fwd, _ := ttsfUnit(t)
+	p1 := mkData(1, bytes.Repeat([]byte{'a'}, 100))
+	fwd(p1, func(p *filter.Packet) { p.Drop() }) // everything dropped
+
+	fin := mkData(101, nil)
+	fin.TCP.Flags |= tcp.FlagFIN
+	fwd(fin, nil)
+	if fin.TCP.Seq != 1 {
+		t.Fatalf("FIN seq = %d, want 1", fin.TCP.Seq)
+	}
+}
+
+// TestTTSFPropertyRandomTransformations is experiment E16: under a
+// randomized mix of per-segment drops and resizes plus wireless loss,
+// the sender always completes and the receiver's stream equals the
+// concatenation of the transformed segments.
+func TestTTSFPropertyRandomTransformations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	f := func(seed int64, lossPct uint8) bool {
+		loss := float64(lossPct%8) / 100
+		r := newRig(t, rigOpts{
+			seed: seed,
+			wireless: netsim.LinkConfig{Bandwidth: 5e6, Delay: 10 * time.Millisecond,
+				Loss: netsim.Bernoulli{P: loss}, QueueLen: 500},
+		})
+		r.cmd(t, r.proxyA, "load tcp")
+		r.cmd(t, r.proxyA, "load ttsf")
+		r.cmd(t, r.proxyA, "load rdrop")
+		r.cmd(t, r.proxyA, "load launcher")
+		rate := int(uint64(seed)%61) + 10 // 10..70%
+		r.cmd(t, r.proxyA, fmt.Sprintf("add launcher 11.11.10.99 0 11.11.10.10 0 tcp ttsf rdrop:%d", rate))
+
+		payload := pattern(80_000)
+		got, client := r.transfer(t, payload, 600*time.Second)
+		if client.State() != tcp.StateClosed && client.State() != tcp.StateTimeWait {
+			t.Logf("seed=%d loss=%.2f rate=%d: sender stuck in %v (stats %+v)",
+				seed, loss, rate, client.State(), client.Stats())
+			return false
+		}
+		if !isChunkSubsequence(got, payload) {
+			t.Logf("seed=%d: receiver stream not a subsequence", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package ip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ICMP message types used by the simulator. Router discovery (RFC 1256)
+// is what Mobile IP mobiles use to find routers and foreign agents when
+// they enter a new network (thesis §2.1).
+const (
+	ICMPEchoReply           = 0
+	ICMPDestUnreachable     = 3
+	ICMPEcho                = 8
+	ICMPRouterAdvertisement = 9
+	ICMPRouterSolicitation  = 10
+	ICMPTimeExceeded        = 11
+)
+
+// ICMPMessage is a decoded ICMP datagram body.
+type ICMPMessage struct {
+	Type byte
+	Code byte
+	// ID and Seq occupy the "rest of header" word for echo messages;
+	// for router advertisements ID is NumAddrs<<8|EntrySize and Seq is
+	// the lifetime in seconds.
+	ID, Seq uint16
+	Body    []byte
+}
+
+// MarshalICMP encodes the message with a correct ICMP checksum.
+func MarshalICMP(m ICMPMessage) []byte {
+	b := make([]byte, 8+len(m.Body))
+	b[0] = m.Type
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[8:], m.Body)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// ErrICMPChecksum reports an ICMP message whose checksum is invalid.
+var ErrICMPChecksum = errors.New("ip: bad ICMP checksum")
+
+// UnmarshalICMP decodes an ICMP datagram body, verifying its checksum.
+func UnmarshalICMP(b []byte) (ICMPMessage, error) {
+	var m ICMPMessage
+	if len(b) < 8 {
+		return m, ErrTruncated
+	}
+	if Checksum(b) != 0 {
+		return m, ErrICMPChecksum
+	}
+	m.Type = b[0]
+	m.Code = b[1]
+	m.ID = binary.BigEndian.Uint16(b[4:])
+	m.Seq = binary.BigEndian.Uint16(b[6:])
+	m.Body = b[8:]
+	return m, nil
+}
+
+// RouterAdvertisement is the body of an ICMP router-advertisement as a
+// router or Mobile IP foreign agent periodically broadcasts it.
+type RouterAdvertisement struct {
+	Lifetime uint16 // seconds the advertisement remains valid
+	Addrs    []Addr // advertised router addresses, preference ignored
+	// AgentFlags carries the Mobile IP mobility-agent extension bits;
+	// AgentFlagFA marks the router as a foreign agent offering care-of
+	// service, AgentFlagHA as a home agent.
+	AgentFlags byte
+}
+
+// Mobility-agent advertisement flag bits.
+const (
+	AgentFlagFA = 0x1
+	AgentFlagHA = 0x2
+)
+
+// MarshalRouterAdvertisement encodes the advertisement as an ICMP
+// message.
+func MarshalRouterAdvertisement(ra RouterAdvertisement) []byte {
+	body := make([]byte, 8*len(ra.Addrs)+1)
+	for i, a := range ra.Addrs {
+		binary.BigEndian.PutUint32(body[8*i:], uint32(a))
+		binary.BigEndian.PutUint32(body[8*i+4:], 0) // preference
+	}
+	body[len(body)-1] = ra.AgentFlags
+	return MarshalICMP(ICMPMessage{
+		Type: ICMPRouterAdvertisement,
+		ID:   uint16(len(ra.Addrs))<<8 | 8,
+		Seq:  ra.Lifetime,
+		Body: body,
+	})
+}
+
+// ParseRouterAdvertisement decodes a router-advertisement message body.
+func ParseRouterAdvertisement(m ICMPMessage) (RouterAdvertisement, error) {
+	var ra RouterAdvertisement
+	if m.Type != ICMPRouterAdvertisement {
+		return ra, fmt.Errorf("ip: ICMP type %d is not a router advertisement", m.Type)
+	}
+	n := int(m.ID >> 8)
+	if len(m.Body) < 8*n {
+		return ra, ErrTruncated
+	}
+	ra.Lifetime = m.Seq
+	for i := 0; i < n; i++ {
+		ra.Addrs = append(ra.Addrs, Addr(binary.BigEndian.Uint32(m.Body[8*i:])))
+	}
+	if len(m.Body) > 8*n {
+		ra.AgentFlags = m.Body[8*n]
+	}
+	return ra, nil
+}

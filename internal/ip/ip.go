@@ -1,0 +1,259 @@
+// Package ip implements the IPv4 wire format used throughout the
+// simulated network: header encode/decode with real ones'-complement
+// checksums, protocol numbers, and IP-in-IP encapsulation as used by
+// Mobile IP tunneling (RFC 2003).
+//
+// The Comma service proxy manipulates packets at this level — filters
+// receive the raw bytes of a full IP datagram and may rewrite any part
+// of it — so the formats here match the real protocols bit-for-bit.
+package ip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers carried in the IPv4 Protocol field.
+const (
+	ProtoICMP = 1
+	ProtoIPIP = 4 // IP-in-IP encapsulation (Mobile IP tunnels)
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// HeaderLen is the length of an IPv4 header without options. The
+// simulator does not generate IP options, but the decoder accepts them.
+const HeaderLen = 20
+
+// MaxPacket is the largest datagram the simulated networks carry.
+const MaxPacket = 65535
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses a dotted-quad string such as "11.11.10.99".
+func ParseAddr(s string) (Addr, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("ip: parse %q: %w", s, err)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return 0, fmt.Errorf("ip: parse %q: octet out of range", s)
+		}
+	}
+	return AddrFrom4(byte(a), byte(b), byte(c), byte(d)), nil
+}
+
+// MustParseAddr is ParseAddr for trusted literals; it panics on error.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IsZero reports whether the address is the wildcard 0.0.0.0.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Mask applies a prefix length, clearing host bits.
+func (a Addr) Mask(prefix int) Addr {
+	if prefix <= 0 {
+		return 0
+	}
+	if prefix >= 32 {
+		return a
+	}
+	return a & Addr(^uint32(0)<<(32-prefix))
+}
+
+// Header is a decoded IPv4 header. Fields mirror the wire layout; IHL
+// and Version are implied (options are preserved verbatim in Options).
+type Header struct {
+	TOS      byte
+	TotalLen uint16
+	ID       uint16
+	Flags    byte   // upper 3 bits of the fragment word
+	FragOff  uint16 // 13-bit fragment offset, in 8-byte units
+	TTL      byte
+	Protocol byte
+	Checksum uint16 // as read from the wire; recomputed on Marshal
+	Src, Dst Addr
+	Options  []byte // raw options, length must be a multiple of 4
+}
+
+// Flag bits for Header.Flags.
+const (
+	FlagDF = 0x2 // don't fragment
+	FlagMF = 0x1 // more fragments
+)
+
+var (
+	// ErrTruncated reports a buffer too short for the encoded header.
+	ErrTruncated = errors.New("ip: truncated packet")
+	// ErrVersion reports a packet whose version field is not 4.
+	ErrVersion = errors.New("ip: not an IPv4 packet")
+)
+
+// HeaderLength returns the encoded header length in bytes,
+// including options.
+func (h *Header) HeaderLength() int { return HeaderLen + len(h.Options) }
+
+// Marshal encodes the header followed by payload into a fresh slice,
+// setting TotalLen and Checksum. The caller's Header is updated with
+// the computed values.
+func (h *Header) Marshal(payload []byte) ([]byte, error) {
+	optLen := len(h.Options)
+	if optLen%4 != 0 || optLen > 40 {
+		return nil, fmt.Errorf("ip: bad options length %d", optLen)
+	}
+	hl := HeaderLen + optLen
+	total := hl + len(payload)
+	if total > MaxPacket {
+		return nil, fmt.Errorf("ip: packet too large (%d bytes)", total)
+	}
+	h.TotalLen = uint16(total)
+	b := make([]byte, total)
+	b[0] = 4<<4 | byte(hl/4)
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	binary.BigEndian.PutUint16(b[6:], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	// checksum at b[10:12] computed below
+	binary.BigEndian.PutUint32(b[12:], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:], uint32(h.Dst))
+	copy(b[20:], h.Options)
+	h.Checksum = Checksum(b[:hl])
+	binary.BigEndian.PutUint16(b[10:], h.Checksum)
+	copy(b[hl:], payload)
+	return b, nil
+}
+
+// Unmarshal decodes an IPv4 header from b. It returns the decoded
+// header and the payload sub-slice of b (aliasing b, not a copy).
+// The header checksum is not verified; call VerifyChecksum.
+func Unmarshal(b []byte) (Header, []byte, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return h, nil, ErrVersion
+	}
+	hl := int(b[0]&0x0f) * 4
+	if hl < HeaderLen || len(b) < hl {
+		return h, nil, ErrTruncated
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:])
+	if int(h.TotalLen) < hl || int(h.TotalLen) > len(b) {
+		return h, nil, ErrTruncated
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	frag := binary.BigEndian.Uint16(b[6:])
+	h.Flags = byte(frag >> 13)
+	h.FragOff = frag & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:])
+	h.Src = Addr(binary.BigEndian.Uint32(b[12:]))
+	h.Dst = Addr(binary.BigEndian.Uint32(b[16:]))
+	if hl > HeaderLen {
+		h.Options = b[HeaderLen:hl]
+	}
+	return h, b[hl:h.TotalLen], nil
+}
+
+// VerifyChecksum reports whether the header checksum of the encoded
+// packet b is valid.
+func VerifyChecksum(b []byte) bool {
+	if len(b) < HeaderLen {
+		return false
+	}
+	hl := int(b[0]&0x0f) * 4
+	if hl < HeaderLen || len(b) < hl {
+		return false
+	}
+	return Checksum(b[:hl]) == 0
+}
+
+// Checksum computes the RFC 1071 Internet checksum over b. For a
+// buffer whose checksum field is zeroed it returns the value to store;
+// over a buffer containing a correct checksum it returns zero.
+func Checksum(b []byte) uint16 {
+	return finishChecksum(sumBytes(0, b))
+}
+
+// sumBytes accumulates the 16-bit ones'-complement sum of b onto acc.
+func sumBytes(acc uint32, b []byte) uint32 {
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		acc += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		acc += uint32(b[len(b)-1]) << 8
+	}
+	return acc
+}
+
+func finishChecksum(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// PseudoHeaderChecksum starts a transport checksum with the IPv4
+// pseudo-header (src, dst, protocol, transport length) and adds the
+// transport segment bytes. Used by TCP and UDP.
+func PseudoHeaderChecksum(src, dst Addr, proto byte, segment []byte) uint16 {
+	var ph [12]byte
+	binary.BigEndian.PutUint32(ph[0:], uint32(src))
+	binary.BigEndian.PutUint32(ph[4:], uint32(dst))
+	ph[9] = proto
+	binary.BigEndian.PutUint16(ph[10:], uint16(len(segment)))
+	return finishChecksum(sumBytes(sumBytes(0, ph[:]), segment))
+}
+
+// Encapsulate wraps an encoded IP packet inner in a new IP-in-IP outer
+// datagram from src to dst, as a Mobile IP home agent does when
+// forwarding to a care-of address.
+func Encapsulate(src, dst Addr, inner []byte, id uint16) ([]byte, error) {
+	outer := Header{
+		TTL:      64,
+		Protocol: ProtoIPIP,
+		ID:       id,
+		Src:      src,
+		Dst:      dst,
+	}
+	return outer.Marshal(inner)
+}
+
+// Decapsulate strips an IP-in-IP outer header, returning a copy of the
+// inner datagram. It fails if the packet is not protocol 4.
+func Decapsulate(b []byte) ([]byte, error) {
+	h, payload, err := Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Protocol != ProtoIPIP {
+		return nil, fmt.Errorf("ip: decapsulate: protocol %d, want %d", h.Protocol, ProtoIPIP)
+	}
+	inner := make([]byte, len(payload))
+	copy(inner, payload)
+	return inner, nil
+}

@@ -1,0 +1,166 @@
+// Package itcp implements the split-connection baseline of thesis
+// §3.2 (Bakre & Badrinath's I-TCP): the proxy terminates the wired
+// host's TCP connection locally — answering with the mobile's own
+// address — and relays the byte stream over a second, independent
+// connection to the mobile.
+//
+// It exists as a comparator: split connections insulate the wired
+// sender from wireless behaviour, but they break end-to-end semantics —
+// "data sent on the wired first half of the connection may be
+// acknowledged by the proxy before the corresponding data has reached
+// the final destination" (§5.1.2). Experiment E17 demonstrates exactly
+// that failure, which is the thesis's motivation for the transparent
+// (TTSF) approach instead.
+package itcp
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/ip"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+// Stats counts relay activity.
+type Stats struct {
+	Accepted          int64 // wired-side connections terminated
+	BytesAckedToWired int64 // bytes the proxy acknowledged to the sender
+	WiredClosed       int64 // wired halves that closed cleanly
+	MobileFailed      int64 // mobile halves that died before draining
+}
+
+// Relay is an I-TCP style Mobility Support Router function attached to
+// one proxy node: for each configured (mobileAddr, port), inbound
+// connections from the wired side are terminated at the proxy and
+// re-originated toward the mobile.
+type Relay struct {
+	node   *netsim.Node
+	mobile ip.Addr
+
+	// wiredSide impersonates the mobile toward wired senders; packets
+	// addressed to the mobile on relayed ports are hijacked into it.
+	wiredSide *tcp.Stack
+	// mobileSide originates the wireless-specific connections. The
+	// thesis-era I-TCP used a wireless-tuned transport here; we use the
+	// same TCP with its own (typically more aggressive) configuration,
+	// which preserves the property under study: two independent
+	// reliability domains.
+	mobileSide *tcp.Stack
+
+	ports map[uint16]bool
+	pipes []*pipe
+
+	Stats Stats
+}
+
+// pipe is one bridged connection pair.
+type pipe struct {
+	ackedToWired int64
+	mobileConn   *tcp.Conn
+	mobileAcked  int64 // frozen at close; live value read from the conn
+	closed       bool
+}
+
+// Stranded returns the number of bytes the relay acknowledged to wired
+// senders that the mobile side has not acknowledged — data the sender
+// wrongly believes delivered. A live, healthy relay has a small
+// in-flight value here; after a mobile-side failure it is permanent
+// loss (the §5.1.2 end-to-end hazard).
+func (r *Relay) Stranded() int64 {
+	var total int64
+	for _, p := range r.pipes {
+		acked := p.mobileAcked
+		if !p.closed {
+			acked = p.mobileConn.Stats().BytesAcked
+		}
+		if d := p.ackedToWired - acked; d > 0 {
+			total += d
+		}
+	}
+	return total
+}
+
+// New attaches a relay to the proxy node for connections to
+// mobile:port. wiredCfg and mobileCfg configure the two connection
+// halves independently (I-TCP's point: the wireless side can use
+// different parameters).
+func New(node *netsim.Node, mobile ip.Addr, ports []uint16, wiredCfg, mobileCfg tcp.Config) (*Relay, error) {
+	r := &Relay{
+		node:       node,
+		mobile:     mobile,
+		wiredSide:  tcp.NewStack(node, wiredCfg),
+		mobileSide: tcp.NewStack(node, mobileCfg),
+		ports:      make(map[uint16]bool),
+	}
+	for _, p := range ports {
+		p := p
+		r.ports[p] = true
+		if _, err := r.wiredSide.Listen(p, func(c *tcp.Conn) { r.accept(c, p) }); err != nil {
+			return nil, fmt.Errorf("itcp: %w", err)
+		}
+	}
+	node.SetHook(r.hook)
+	node.RegisterProto(ip.ProtoTCP, func(h ip.Header, payload, raw []byte, in *netsim.Iface) {
+		// Mobile-side traffic addressed to the proxy itself.
+		r.mobileSide.Deliver(h.Src, h.Dst, payload)
+	})
+	return r, nil
+}
+
+// hook hijacks wired-side segments addressed to the mobile on relayed
+// ports into the local impersonating stack; everything else passes.
+func (r *Relay) hook(raw []byte, in *netsim.Iface) [][]byte {
+	pkt, err := filter.Parse(raw)
+	if err != nil || pkt.TCP == nil {
+		return [][]byte{raw}
+	}
+	// Wired -> mobile on a relayed port: terminate locally.
+	if pkt.IP.Dst == r.mobile && r.ports[pkt.TCP.DstPort] {
+		r.wiredSide.Deliver(pkt.IP.Src, pkt.IP.Dst, pkt.Data)
+		return nil
+	}
+	// Mobile -> wired replies to the impersonated connections are
+	// generated locally by wiredSide, so anything arriving *from* the
+	// mobile for a relayed source port belongs to the mobileSide stack
+	// and is delivered by the protocol handler (dst == proxy address).
+	return [][]byte{raw}
+}
+
+// accept bridges one wired-side connection to a fresh mobile-side
+// connection.
+func (r *Relay) accept(wired *tcp.Conn, port uint16) {
+	r.Stats.Accepted++
+	mobileConn, err := r.mobileSide.Connect(r.mobile, port)
+	if err != nil {
+		wired.Abort()
+		return
+	}
+	p := &pipe{mobileConn: mobileConn}
+	r.pipes = append(r.pipes, p)
+
+	wired.OnData = func(b []byte) {
+		// The wired side has already acknowledged these bytes (our
+		// stack delivered them); relay them onward. If the mobile half
+		// is dead the bytes are stranded — the wired sender cannot
+		// know (§5.1.2).
+		r.Stats.BytesAckedToWired += int64(len(b))
+		p.ackedToWired += int64(len(b))
+		mobileConn.Write(b)
+	}
+	wired.OnRemoteClose = func() {
+		r.Stats.WiredClosed++
+		mobileConn.Close()
+		wired.Close()
+	}
+	// Reverse direction: mobile -> wired.
+	mobileConn.OnData = func(b []byte) { wired.Write(b) }
+	mobileConn.OnRemoteClose = func() { wired.Close() }
+	mobileConn.OnClose = func(err error) {
+		p.mobileAcked = mobileConn.Stats().BytesAcked
+		p.closed = true
+		if err != nil {
+			r.Stats.MobileFailed++
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package media defines the synthetic application data formats the
+// thesis's data-manipulation services operate on (§8.3): hierarchical
+// layered real-time frames (for the hierarchical-discard filter),
+// image tiles (for colour→monochrome data-type translation), and
+// styled rich text (for rich-text→ASCII translation).
+//
+// These stand in for the audio/video and document formats the thesis
+// motivates; what matters to the proxy services is their structure —
+// a layer hierarchy, per-pixel colour, in-band styling — not their
+// codec fidelity.
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Frame is one unit of a layered real-time stream (§8.3.2). Layer 0 is
+// the base layer the application needs for minimal operation; higher
+// layers refine quality and may be discarded under low QoS.
+type Frame struct {
+	Seq   uint32 // frame sequence number (one per media instant)
+	Layer uint8  // 0 = base, increasing = enhancement
+	Data  []byte
+}
+
+// frameHeaderLen is the encoded frame header size.
+const frameHeaderLen = 7
+
+// ErrTruncated reports a buffer too short for the declared content.
+var ErrTruncated = errors.New("media: truncated")
+
+// MarshalFrame encodes a frame.
+func MarshalFrame(f Frame) []byte {
+	b := make([]byte, frameHeaderLen+len(f.Data))
+	binary.BigEndian.PutUint32(b[0:], f.Seq)
+	b[4] = f.Layer
+	binary.BigEndian.PutUint16(b[5:], uint16(len(f.Data)))
+	copy(b[frameHeaderLen:], f.Data)
+	return b
+}
+
+// UnmarshalFrame decodes a frame; Data aliases b.
+func UnmarshalFrame(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < frameHeaderLen {
+		return f, ErrTruncated
+	}
+	f.Seq = binary.BigEndian.Uint32(b[0:])
+	f.Layer = b[4]
+	n := int(binary.BigEndian.Uint16(b[5:]))
+	if len(b) < frameHeaderLen+n {
+		return f, ErrTruncated
+	}
+	f.Data = b[frameHeaderLen : frameHeaderLen+n]
+	return f, nil
+}
+
+// LayeredSource generates a deterministic layered stream: each media
+// instant emits one frame per layer, the base layer small and
+// essential, enhancement layers progressively larger (as subband video
+// coders behave).
+type LayeredSource struct {
+	Layers    int // total layers (≥1)
+	BaseBytes int // payload size of layer 0
+	rng       *rand.Rand
+	seq       uint32
+}
+
+// NewLayeredSource creates a source with the given shape.
+func NewLayeredSource(layers, baseBytes int, seed int64) *LayeredSource {
+	if layers < 1 {
+		layers = 1
+	}
+	return &LayeredSource{Layers: layers, BaseBytes: baseBytes, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the frames of the next media instant, base layer first.
+func (s *LayeredSource) Next() []Frame {
+	frames := make([]Frame, s.Layers)
+	seq := s.seq
+	s.seq++
+	for l := 0; l < s.Layers; l++ {
+		size := s.BaseBytes << l // each enhancement layer doubles
+		data := make([]byte, size)
+		s.rng.Read(data)
+		frames[l] = Frame{Seq: seq, Layer: uint8(l), Data: data}
+	}
+	return frames
+}
+
+// --- image tiles ----------------------------------------------------------------
+
+// Pixel modes for ImageTile.
+const (
+	ModeRGB  = 0 // 3 bytes per pixel
+	ModeMono = 1 // 1 byte per pixel (luminance)
+)
+
+// ImageTile is a rectangular piece of an image in transit, the unit
+// the data-type translation filter converts (§8.3.3: "images can be
+// converted from colour to monochrome").
+type ImageTile struct {
+	X, Y, W, H uint16
+	Mode       byte
+	Pixels     []byte
+}
+
+// tileHeaderLen is the encoded tile header size.
+const tileHeaderLen = 9
+
+// bytesPerPixel returns the pixel stride for a mode.
+func bytesPerPixel(mode byte) int {
+	if mode == ModeRGB {
+		return 3
+	}
+	return 1
+}
+
+// MarshalTile encodes a tile.
+func MarshalTile(t ImageTile) ([]byte, error) {
+	want := int(t.W) * int(t.H) * bytesPerPixel(t.Mode)
+	if len(t.Pixels) != want {
+		return nil, fmt.Errorf("media: tile %dx%d mode %d needs %d pixel bytes, have %d",
+			t.W, t.H, t.Mode, want, len(t.Pixels))
+	}
+	b := make([]byte, tileHeaderLen+len(t.Pixels))
+	binary.BigEndian.PutUint16(b[0:], t.X)
+	binary.BigEndian.PutUint16(b[2:], t.Y)
+	binary.BigEndian.PutUint16(b[4:], t.W)
+	binary.BigEndian.PutUint16(b[6:], t.H)
+	b[8] = t.Mode
+	copy(b[tileHeaderLen:], t.Pixels)
+	return b, nil
+}
+
+// UnmarshalTile decodes a tile; Pixels aliases b.
+func UnmarshalTile(b []byte) (ImageTile, error) {
+	var t ImageTile
+	if len(b) < tileHeaderLen {
+		return t, ErrTruncated
+	}
+	t.X = binary.BigEndian.Uint16(b[0:])
+	t.Y = binary.BigEndian.Uint16(b[2:])
+	t.W = binary.BigEndian.Uint16(b[4:])
+	t.H = binary.BigEndian.Uint16(b[6:])
+	t.Mode = b[8]
+	want := int(t.W) * int(t.H) * bytesPerPixel(t.Mode)
+	if len(b) < tileHeaderLen+want {
+		return t, ErrTruncated
+	}
+	t.Pixels = b[tileHeaderLen : tileHeaderLen+want]
+	return t, nil
+}
+
+// ToMono converts an RGB tile to monochrome using the ITU-R BT.601
+// luma weights. Mono tiles are returned unchanged.
+func ToMono(t ImageTile) ImageTile {
+	if t.Mode != ModeRGB {
+		return t
+	}
+	n := int(t.W) * int(t.H)
+	mono := make([]byte, n)
+	for i := 0; i < n; i++ {
+		r := int(t.Pixels[3*i])
+		g := int(t.Pixels[3*i+1])
+		b := int(t.Pixels[3*i+2])
+		mono[i] = byte((299*r + 587*g + 114*b) / 1000)
+	}
+	return ImageTile{X: t.X, Y: t.Y, W: t.W, H: t.H, Mode: ModeMono, Pixels: mono}
+}
+
+// TestImageTiles cuts a deterministic synthetic w×h RGB image into
+// tiles of tileH rows each, for driving the translation filter.
+func TestImageTiles(w, h, tileH int, seed int64) []ImageTile {
+	rng := rand.New(rand.NewSource(seed))
+	var tiles []ImageTile
+	for y := 0; y < h; y += tileH {
+		rows := tileH
+		if y+rows > h {
+			rows = h - y
+		}
+		px := make([]byte, w*rows*3)
+		rng.Read(px)
+		tiles = append(tiles, ImageTile{X: 0, Y: uint16(y), W: uint16(w), H: uint16(rows), Mode: ModeRGB, Pixels: px})
+	}
+	return tiles
+}
+
+// --- rich text -----------------------------------------------------------------
+
+// EncodeRich encodes text as (char, style) byte pairs — a toy stand-in
+// for PostScript-like formatted documents (§8.3.3: "text from
+// PostScript to ASCII").
+func EncodeRich(text string, style byte) []byte {
+	b := make([]byte, 0, 2*len(text))
+	for i := 0; i < len(text); i++ {
+		b = append(b, text[i], style)
+	}
+	return b
+}
+
+// RichToASCII strips the style bytes, halving the size. Odd-length
+// input keeps its trailing character.
+func RichToASCII(rich []byte) []byte {
+	out := make([]byte, 0, (len(rich)+1)/2)
+	for i := 0; i < len(rich); i += 2 {
+		out = append(out, rich[i])
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package media_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/media"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := media.Frame{Seq: 42, Layer: 3, Data: []byte("enhancement bits")}
+	b := media.MarshalFrame(f)
+	g, err := media.UnmarshalFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Seq != 42 || g.Layer != 3 || !bytes.Equal(g.Data, f.Data) {
+		t.Fatalf("round trip: %+v", g)
+	}
+	if _, err := media.UnmarshalFrame(b[:4]); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	if _, err := media.UnmarshalFrame(b[:len(b)-2]); err == nil {
+		t.Fatal("truncated data accepted")
+	}
+}
+
+func TestLayeredSourceShape(t *testing.T) {
+	src := media.NewLayeredSource(3, 100, 1)
+	for i := 0; i < 5; i++ {
+		fs := src.Next()
+		if len(fs) != 3 {
+			t.Fatalf("instant %d has %d frames", i, len(fs))
+		}
+		for l, f := range fs {
+			if f.Seq != uint32(i) || int(f.Layer) != l {
+				t.Fatalf("frame %d/%d: %+v", i, l, f)
+			}
+			want := 100 << l
+			if len(f.Data) != want {
+				t.Fatalf("layer %d size %d, want %d", l, len(f.Data), want)
+			}
+		}
+	}
+	// Determinism across sources with the same seed.
+	a := media.NewLayeredSource(2, 50, 9).Next()
+	b := media.NewLayeredSource(2, 50, 9).Next()
+	if !bytes.Equal(a[0].Data, b[0].Data) {
+		t.Fatal("layered source not deterministic per seed")
+	}
+	if media.NewLayeredSource(0, 10, 1).Layers != 1 {
+		t.Fatal("layer floor not applied")
+	}
+}
+
+func TestTileRoundTripAndValidation(t *testing.T) {
+	tile := media.ImageTile{X: 0, Y: 8, W: 4, H: 2, Mode: media.ModeRGB,
+		Pixels: bytes.Repeat([]byte{10, 20, 30}, 8)}
+	b, err := media.MarshalTile(tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := media.UnmarshalTile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != 4 || g.H != 2 || g.Mode != media.ModeRGB || !bytes.Equal(g.Pixels, tile.Pixels) {
+		t.Fatalf("round trip: %+v", g)
+	}
+	// Wrong pixel count rejected.
+	tile.Pixels = tile.Pixels[:10]
+	if _, err := media.MarshalTile(tile); err == nil {
+		t.Fatal("short pixel buffer accepted")
+	}
+	if _, err := media.UnmarshalTile(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated tile accepted")
+	}
+}
+
+func TestToMonoLuma(t *testing.T) {
+	// Pure red, green, blue pixels: BT.601 weights.
+	tile := media.ImageTile{W: 3, H: 1, Mode: media.ModeRGB,
+		Pixels: []byte{255, 0, 0, 0, 255, 0, 0, 0, 255}}
+	mono := media.ToMono(tile)
+	if mono.Mode != media.ModeMono || len(mono.Pixels) != 3 {
+		t.Fatalf("mono tile: %+v", mono)
+	}
+	want := []byte{76, 149, 29} // 0.299, 0.587, 0.114 of 255
+	for i, w := range want {
+		if d := int(mono.Pixels[i]) - int(w); d < -1 || d > 1 {
+			t.Fatalf("luma[%d] = %d, want ≈%d", i, mono.Pixels[i], w)
+		}
+	}
+	// Mono input passes through unchanged.
+	again := media.ToMono(mono)
+	if !bytes.Equal(again.Pixels, mono.Pixels) {
+		t.Fatal("ToMono not idempotent")
+	}
+}
+
+func TestTestImageTilesCoverImage(t *testing.T) {
+	tiles := media.TestImageTiles(32, 20, 8, 4)
+	rows := 0
+	for _, tile := range tiles {
+		if tile.W != 32 || tile.Mode != media.ModeRGB {
+			t.Fatalf("tile shape: %+v", tile)
+		}
+		rows += int(tile.H)
+	}
+	if rows != 20 {
+		t.Fatalf("tiles cover %d rows, want 20", rows)
+	}
+	// Last tile is the 4-row remainder.
+	if tiles[len(tiles)-1].H != 4 {
+		t.Fatalf("remainder tile H = %d", tiles[len(tiles)-1].H)
+	}
+}
+
+func TestRichTextRoundTrip(t *testing.T) {
+	rich := media.EncodeRich("hello", 0x99)
+	if len(rich) != 10 {
+		t.Fatalf("rich length %d", len(rich))
+	}
+	if string(media.RichToASCII(rich)) != "hello" {
+		t.Fatalf("ascii: %q", media.RichToASCII(rich))
+	}
+	// Odd-length input keeps the trailing char.
+	if string(media.RichToASCII(rich[:9])) != "hello" {
+		t.Fatalf("odd ascii: %q", media.RichToASCII(rich[:9]))
+	}
+}
+
+func TestRichTextProperty(t *testing.T) {
+	f := func(text string, style byte) bool {
+		return string(media.RichToASCII(media.EncodeRich(text, style))) == text
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seq uint32, layer uint8, data []byte) bool {
+		if len(data) > 60000 {
+			data = data[:60000]
+		}
+		g, err := media.UnmarshalFrame(media.MarshalFrame(media.Frame{Seq: seq, Layer: layer, Data: data}))
+		return err == nil && g.Seq == seq && g.Layer == layer && bytes.Equal(g.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

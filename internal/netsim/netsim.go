@@ -1,0 +1,599 @@
+// Package netsim models the network the thesis ran on: wired hosts,
+// routers, and mobile hosts joined by point-to-point links with
+// configurable bandwidth, propagation delay, queue capacity, and loss.
+//
+// Wireless links are ordinary links with low bandwidth and a non-zero
+// loss model (independent Bernoulli or bursty Gilbert–Elliott), which
+// captures the "wireless variability" of thesis §2.3: the phenomena the
+// service proxy's filters respond to are loss, delay, and bandwidth
+// asymmetry, all of which are link-level parameters here.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+)
+
+// Broadcast is the all-ones limited-broadcast address: packets sent to
+// it are delivered to the node at the far end of the egress link and
+// never forwarded.
+var Broadcast = ip.MustParseAddr("255.255.255.255")
+
+// LossModel decides the fate of each packet crossing a link direction.
+type LossModel interface {
+	// Drop reports whether the packet carrying n bytes is lost.
+	Drop(rng *rand.Rand, n int) bool
+}
+
+// NoLoss never drops packets (wired links).
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*rand.Rand, int) bool { return false }
+
+// Bernoulli drops each packet independently with probability P.
+type Bernoulli struct{ P float64 }
+
+// Drop implements LossModel.
+func (b Bernoulli) Drop(rng *rand.Rand, _ int) bool { return rng.Float64() < b.P }
+
+// GilbertElliott is a two-state burst-loss model: in the Good state
+// packets survive, in the Bad state they drop with probability PBad.
+// PGB and PBG are the per-packet transition probabilities.
+type GilbertElliott struct {
+	PGB, PBG float64 // good→bad and bad→good transition probabilities
+	PBad     float64 // drop probability while in the bad state
+	bad      bool
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(rng *rand.Rand, _ int) bool {
+	if g.bad {
+		if rng.Float64() < g.PBG {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.PGB {
+			g.bad = true
+		}
+	}
+	if g.bad {
+		return rng.Float64() < g.PBad
+	}
+	return false
+}
+
+// LinkConfig describes one direction of a link. Zero values select a
+// fast, lossless, generously buffered wire.
+type LinkConfig struct {
+	Bandwidth int64         // bits per second; 0 = 100 Mb/s
+	Delay     time.Duration // propagation delay; 0 = 1ms
+	// Jitter adds a uniform random extra delay in [0, Jitter) per
+	// packet — the delay variation of a contended wireless medium
+	// (thesis §2.3: "packet loss and retransmission will cause
+	// variable delays"). Packets are re-sequenced on arrival order,
+	// so large jitter can reorder.
+	Jitter   time.Duration
+	QueueLen int       // max packets queued for transmission; 0 = 64
+	Loss     LossModel // nil = NoLoss
+	// ARQ, when non-nil, layers an AIRMAIL-style link-layer
+	// retransmission scheme under the loss model (thesis §3.2): frames
+	// the loss model kills are redelivered after retransmission rounds
+	// instead of lost, and a retransmission may duplicate a frame that
+	// actually arrived. The transport above sees (almost) no loss but
+	// variable delay and duplicates — the exact artifacts that confuse
+	// TCP and that the TCP-aware snoop avoids.
+	ARQ *ARQConfig
+}
+
+// ARQConfig parameterizes the link-layer retransmission model.
+type ARQConfig struct {
+	// RetransDelay is the cost of one retransmission round (frame
+	// timeout + resend), added per retry.
+	RetransDelay time.Duration
+	// MaxRetries bounds the rounds before the frame is truly lost.
+	MaxRetries int
+	// PDup is the probability that a retransmission round also
+	// delivers a duplicate of the frame (the link-level ack was lost,
+	// so the sender resent a frame the receiver already had).
+	PDup float64
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 100e6
+	}
+	if c.Delay == 0 {
+		c.Delay = time.Millisecond
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 64
+	}
+	if c.Loss == nil {
+		c.Loss = NoLoss{}
+	}
+	return c
+}
+
+// LinkStats counts traffic over one direction of a link.
+type LinkStats struct {
+	Packets, Bytes int64 // accepted for transmission
+	Dropped        int64 // lost to the loss model
+	QueueDrops     int64 // lost to a full transmit queue
+	DeliveredPkts  int64
+	DeliveredBytes int64
+	ARQRetries     int64 // link-layer retransmission rounds charged
+	ARQDuplicates  int64 // frames delivered twice by the ARQ model
+	// BusyTime accumulates serialization time, for utilization math.
+	BusyTime time.Duration
+}
+
+// direction is the state of one direction of a duplex link.
+type direction struct {
+	cfg      LinkConfig
+	nextFree sim.Time // when the transmitter finishes its current queue
+	queued   int
+	stats    LinkStats
+	down     bool
+}
+
+// Link is a duplex point-to-point link between two interfaces.
+type Link struct {
+	net  *Network
+	a, b *Iface
+	ab   direction // a -> b
+	ba   direction // b -> a
+}
+
+// StatsAB and StatsBA return per-direction counters.
+func (l *Link) StatsAB() LinkStats { return l.ab.stats }
+func (l *Link) StatsBA() LinkStats { return l.ba.stats }
+
+// IfaceA and IfaceB return the link's endpoints in Connect order.
+func (l *Link) IfaceA() *Iface { return l.a }
+func (l *Link) IfaceB() *Iface { return l.b }
+
+// ConfigAB and ConfigBA return the per-direction configurations.
+func (l *Link) ConfigAB() LinkConfig { return l.ab.cfg }
+func (l *Link) ConfigBA() LinkConfig { return l.ba.cfg }
+
+// SetDown disables or re-enables both directions. Packets sent on a
+// down link vanish, and packets in flight when it goes down are lost —
+// this is how mobile disconnection and handoff gaps are modelled.
+func (l *Link) SetDown(down bool) {
+	l.ab.down = down
+	l.ba.down = down
+}
+
+// Down reports whether the link is disabled.
+func (l *Link) Down() bool { return l.ab.down }
+
+// SetLoss swaps the loss model of both directions at run time
+// (experiments vary wireless quality mid-run).
+func (l *Link) SetLoss(m LossModel) {
+	l.ab.cfg.Loss = m
+	l.ba.cfg.Loss = m
+}
+
+// SetBandwidth changes both directions' bandwidth at run time — the
+// thesis's mobility scenario of moving between networks of different
+// quality (§2.3). Queued packets already scheduled keep their old
+// serialization times.
+func (l *Link) SetBandwidth(bps int64) {
+	if bps <= 0 {
+		return
+	}
+	l.ab.cfg.Bandwidth = bps
+	l.ba.cfg.Bandwidth = bps
+}
+
+// Iface is a node's attachment to a link.
+type Iface struct {
+	node *Node
+	link *Link
+	addr ip.Addr
+}
+
+// Addr returns the interface's IP address.
+func (i *Iface) Addr() ip.Addr { return i.addr }
+
+// Link returns the attached link (nil if detached).
+func (i *Iface) Link() *Link { return i.link }
+
+// peer returns the interface at the other end of the link.
+func (i *Iface) peer() *Iface {
+	if i.link == nil {
+		return nil
+	}
+	if i.link.a == i {
+		return i.link.b
+	}
+	return i.link.a
+}
+
+// dir returns the transmit direction for packets leaving i.
+func (i *Iface) dir() *direction {
+	if i.link.a == i {
+		return &i.link.ab
+	}
+	return &i.link.ba
+}
+
+// Route maps a destination prefix to an egress interface.
+type Route struct {
+	Dst    ip.Addr
+	Prefix int // prefix length; 0 matches everything (default route)
+	Via    *Iface
+}
+
+// Hook intercepts packets arriving at a node, before routing or local
+// delivery. It receives the raw datagram and the ingress interface and
+// returns the datagrams that continue processing: return nil to drop,
+// the input to pass through, or any number of (possibly rewritten)
+// packets. The Comma service proxy installs itself as a Hook.
+type Hook func(raw []byte, in *Iface) [][]byte
+
+// Node is a host or router in the simulated network.
+type Node struct {
+	net      *Network
+	name     string
+	ifaces   []*Iface
+	routes   []Route
+	handlers map[byte]ProtoHandler
+	hook     Hook
+	ipID     uint16
+
+	// Forwarding toggles router behaviour; hosts drop transit packets.
+	Forwarding bool
+
+	// Counters for the EEM's SNMP-style variables.
+	Stats NodeStats
+}
+
+// NodeStats mirrors the SNMP MIB-II counters the EEM exports
+// (thesis Table 6.1).
+type NodeStats struct {
+	IPInReceives      int64
+	IPInHdrErrors     int64
+	IPInAddrErrors    int64
+	IPForwDatagrams   int64
+	IPInUnknownProtos int64
+	IPInDelivers      int64
+	IPOutRequests     int64
+	IPOutNoRoutes     int64
+}
+
+// ProtoHandler consumes locally delivered datagrams of one protocol.
+type ProtoHandler func(h ip.Header, payload []byte, raw []byte, in *Iface)
+
+// Network is a collection of nodes and links driven by one scheduler.
+type Network struct {
+	sched *sim.Scheduler
+	nodes map[string]*Node
+}
+
+// New creates an empty network on the given scheduler.
+func New(s *sim.Scheduler) *Network {
+	return &Network{sched: s, nodes: make(map[string]*Node)}
+}
+
+// Scheduler returns the scheduler driving the network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// AddNode creates a named node. Names must be unique.
+func (n *Network) AddNode(name string) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	node := &Node{net: n, name: name, handlers: make(map[byte]ProtoHandler)}
+	n.nodes[name] = node
+	return node
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Connect joins two nodes with a duplex link. addrA and addrB become
+// interface addresses on the respective nodes; cfg applies to both
+// directions.
+func (n *Network) Connect(a *Node, addrA ip.Addr, b *Node, addrB ip.Addr, cfg LinkConfig) *Link {
+	cfg = cfg.withDefaults()
+	l := &Link{net: n}
+	ia := &Iface{node: a, link: l, addr: addrA}
+	ib := &Iface{node: b, link: l, addr: addrB}
+	l.a, l.b = ia, ib
+	l.ab = direction{cfg: cfg}
+	l.ba = direction{cfg: cfg}
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	return l
+}
+
+// ConnectAsym is Connect with different configs per direction
+// (cfgAB governs a→b traffic).
+func (n *Network) ConnectAsym(a *Node, addrA ip.Addr, b *Node, addrB ip.Addr, cfgAB, cfgBA LinkConfig) *Link {
+	l := n.Connect(a, addrA, b, addrB, cfgAB)
+	l.ba.cfg = cfgBA.withDefaults()
+	return l
+}
+
+// Disconnect detaches a link from both endpoints; packets in flight are
+// lost. Used for mobile handoff.
+func (n *Network) Disconnect(l *Link) {
+	l.SetDown(true)
+	l.a.node.removeIface(l.a)
+	l.b.node.removeIface(l.b)
+	l.a.link = nil
+	l.b.link = nil
+}
+
+func (nd *Node) removeIface(target *Iface) {
+	for i, f := range nd.ifaces {
+		if f == target {
+			nd.ifaces = append(nd.ifaces[:i], nd.ifaces[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- Node API ---------------------------------------------------------------
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Addr returns the node's primary address (its first interface), or 0.
+func (nd *Node) Addr() ip.Addr {
+	if len(nd.ifaces) == 0 {
+		return 0
+	}
+	return nd.ifaces[0].addr
+}
+
+// Ifaces returns the node's interfaces.
+func (nd *Node) Ifaces() []*Iface { return nd.ifaces }
+
+// Clock returns the network's scheduler (satisfies tcp.Network).
+func (nd *Node) Clock() *sim.Scheduler { return nd.net.sched }
+
+// HasAddr reports whether a is one of the node's interface addresses.
+func (nd *Node) HasAddr(a ip.Addr) bool {
+	for _, f := range nd.ifaces {
+		if f.addr == a {
+			return true
+		}
+	}
+	return false
+}
+
+// AddRoute installs a prefix route via the given interface.
+func (nd *Node) AddRoute(dst ip.Addr, prefix int, via *Iface) {
+	nd.routes = append(nd.routes, Route{Dst: dst.Mask(prefix), Prefix: prefix, Via: via})
+}
+
+// AddDefaultRoute installs the catch-all route.
+func (nd *Node) AddDefaultRoute(via *Iface) { nd.AddRoute(0, 0, via) }
+
+// ClearRoutes removes all routes (used at handoff).
+func (nd *Node) ClearRoutes() { nd.routes = nil }
+
+// lookupRoute returns the egress interface for dst by longest prefix.
+func (nd *Node) lookupRoute(dst ip.Addr) *Iface {
+	best := -1
+	var via *Iface
+	for _, r := range nd.routes {
+		if r.Via.link == nil || r.Via.link.Down() {
+			continue
+		}
+		if dst.Mask(r.Prefix) == r.Dst && r.Prefix > best {
+			best = r.Prefix
+			via = r.Via
+		}
+	}
+	return via
+}
+
+// RegisterProto installs the handler for an IP protocol number.
+func (nd *Node) RegisterProto(proto byte, h ProtoHandler) { nd.handlers[proto] = h }
+
+// SetHook installs the packet-interception hook (the service proxy).
+func (nd *Node) SetHook(h Hook) { nd.hook = h }
+
+// PacketHook returns the installed hook (benchmarks drive it
+// directly to isolate filtering cost from the network simulation).
+func (nd *Node) PacketHook() Hook { return nd.hook }
+
+// SendIP builds and routes an IP datagram from this node's primary
+// address. It satisfies tcp.Network.
+func (nd *Node) SendIP(dst ip.Addr, proto byte, payload []byte) {
+	nd.SendIPFrom(nd.Addr(), dst, proto, payload)
+}
+
+// SendIPFrom is SendIP with an explicit source address.
+func (nd *Node) SendIPFrom(src, dst ip.Addr, proto byte, payload []byte) {
+	nd.ipID++
+	h := ip.Header{TTL: 64, Protocol: proto, ID: nd.ipID, Src: src, Dst: dst}
+	raw, err := h.Marshal(payload)
+	if err != nil {
+		return
+	}
+	nd.Stats.IPOutRequests++
+	nd.routePacket(raw, h.Dst, nil)
+}
+
+// InjectPacket routes a pre-built raw IP datagram from this node. The
+// service proxy uses it to re-inject filtered packets.
+func (nd *Node) InjectPacket(raw []byte) {
+	h, _, err := ip.Unmarshal(raw)
+	if err != nil {
+		return
+	}
+	nd.Stats.IPOutRequests++
+	nd.routePacket(raw, h.Dst, nil)
+}
+
+// routePacket picks an egress and transmits. in is the ingress iface
+// for forwarded packets (nil for locally originated ones).
+func (nd *Node) routePacket(raw []byte, dst ip.Addr, in *Iface) {
+	// Direct delivery to a neighbour: if any interface's link peer owns
+	// dst, use that link (implicit connected route).
+	for _, f := range nd.ifaces {
+		p := f.peer()
+		if p != nil && (p.addr == dst || dst == Broadcast) && !f.link.Down() {
+			f.transmit(raw)
+			if dst == Broadcast {
+				continue
+			}
+			return
+		}
+	}
+	if dst == Broadcast {
+		return
+	}
+	via := nd.lookupRoute(dst)
+	if via == nil {
+		nd.Stats.IPOutNoRoutes++
+		return
+	}
+	via.transmit(raw)
+}
+
+// receive processes a datagram arriving on iface in.
+func (nd *Node) receive(raw []byte, in *Iface) {
+	nd.Stats.IPInReceives++
+	if !ip.VerifyChecksum(raw) {
+		nd.Stats.IPInHdrErrors++
+		return
+	}
+	packets := [][]byte{raw}
+	if nd.hook != nil {
+		packets = nd.hook(raw, in)
+	}
+	for _, p := range packets {
+		nd.process(p, in)
+	}
+}
+
+func (nd *Node) process(raw []byte, in *Iface) {
+	h, payload, err := ip.Unmarshal(raw)
+	if err != nil {
+		nd.Stats.IPInHdrErrors++
+		return
+	}
+	if nd.HasAddr(h.Dst) || h.Dst == Broadcast {
+		nd.deliverLocal(h, payload, raw, in)
+		return
+	}
+	if !nd.Forwarding {
+		nd.Stats.IPInAddrErrors++
+		return
+	}
+	if h.TTL <= 1 {
+		return
+	}
+	// Rewrite TTL and checksum, then forward.
+	fwd := make([]byte, len(raw))
+	copy(fwd, raw)
+	fwd[8] = h.TTL - 1
+	fwd[10], fwd[11] = 0, 0
+	hl := int(fwd[0]&0x0f) * 4
+	ck := ip.Checksum(fwd[:hl])
+	fwd[10], fwd[11] = byte(ck>>8), byte(ck)
+	nd.Stats.IPForwDatagrams++
+	nd.routePacket(fwd, h.Dst, in)
+}
+
+func (nd *Node) deliverLocal(h ip.Header, payload []byte, raw []byte, in *Iface) {
+	handler, ok := nd.handlers[h.Protocol]
+	if !ok {
+		nd.Stats.IPInUnknownProtos++
+		return
+	}
+	nd.Stats.IPInDelivers++
+	handler(h, payload, raw, in)
+}
+
+// arqRecover redelivers a frame the loss model killed, charging one
+// retransmission round per further loss, possibly duplicating it, and
+// giving up after MaxRetries rounds.
+func (d *direction) arqRecover(s *sim.Scheduler, peer *Iface, pkt []byte) {
+	a := d.cfg.ARQ
+	extra := time.Duration(0)
+	for r := 1; r <= a.MaxRetries; r++ {
+		extra += a.RetransDelay
+		if d.cfg.Loss.Drop(s.Rand(), len(pkt)) {
+			continue // this round lost too
+		}
+		dup := a.PDup > 0 && s.Rand().Float64() < a.PDup
+		d.stats.ARQRetries += int64(r)
+		s.After(extra, func() {
+			if d.down || peer.link == nil {
+				return
+			}
+			d.stats.DeliveredPkts++
+			d.stats.DeliveredBytes += int64(len(pkt))
+			peer.node.receive(pkt, peer)
+			if dup {
+				d.stats.ARQDuplicates++
+				peer.node.receive(pkt, peer)
+			}
+		})
+		return
+	}
+	d.stats.Dropped++ // exhausted the retry budget
+}
+
+// transmit serializes a packet onto the interface's link direction.
+func (f *Iface) transmit(raw []byte) {
+	l := f.link
+	if l == nil {
+		return
+	}
+	d := f.dir()
+	if d.down {
+		return
+	}
+	if d.queued >= d.cfg.QueueLen {
+		d.stats.QueueDrops++
+		return
+	}
+	s := l.net.sched
+	now := s.Now()
+	start := d.nextFree
+	if start < now {
+		start = now
+	}
+	serialize := time.Duration(int64(len(raw)) * 8 * int64(time.Second) / d.cfg.Bandwidth)
+	d.nextFree = start.Add(serialize)
+	d.queued++
+	d.stats.Packets++
+	d.stats.Bytes += int64(len(raw))
+	d.stats.BusyTime += serialize
+	peer := f.peer()
+	delay := d.cfg.Delay
+	if d.cfg.Jitter > 0 {
+		delay += time.Duration(s.Rand().Int63n(int64(d.cfg.Jitter)))
+	}
+	arrive := d.nextFree.Add(delay)
+	pkt := raw // captured; callers must not mutate after transmit
+	s.At(d.nextFree, func() { d.queued-- })
+	s.At(arrive, func() {
+		if d.down || peer.link == nil {
+			return // link went down while in flight
+		}
+		if d.cfg.Loss.Drop(s.Rand(), len(pkt)) {
+			if d.cfg.ARQ != nil {
+				d.arqRecover(s, peer, pkt)
+				return
+			}
+			d.stats.Dropped++
+			return
+		}
+		d.stats.DeliveredPkts++
+		d.stats.DeliveredBytes += int64(len(pkt))
+		peer.node.receive(pkt, peer)
+	})
+}

@@ -1,0 +1,287 @@
+package proxy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/filter"
+	"repro/internal/ip"
+	"repro/internal/tcp"
+)
+
+// ControlPort is the TCP port the SP command interface listens on
+// (thesis §5.3: "a telnet session to a port (12000) on the SP
+// machine").
+const ControlPort = 12000
+
+// Command executes one SP command line and returns its output. Per the
+// thesis the interface is fail-silent: successful load prints the
+// registered name, report prints its listing, and everything else
+// prints nothing. Errors return a brief diagnostic (a small usability
+// deviation, documented in DESIGN.md).
+//
+// Commands:
+//
+//	load <filter-lib>
+//	remove <filter-lib>
+//	add <filter> <srcIP> <srcPort> <dstIP> <dstPort> [args...]
+//	delete <filter> <srcIP> <srcPort> <dstIP> <dstPort>
+//	report [<filter>]
+func (p *Proxy) Command(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return ""
+	}
+	cmd, rest := fields[0], fields[1:]
+	switch cmd {
+	case "load":
+		if len(rest) != 1 {
+			return "error: usage: load <filter-lib>\n"
+		}
+		name, err := p.LoadFilter(rest[0])
+		if err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return name + "\n"
+	case "remove":
+		if len(rest) != 1 {
+			return "error: usage: remove <filter-lib>\n"
+		}
+		if err := p.UnloadFilter(rest[0]); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return ""
+	case "add":
+		if len(rest) < 5 {
+			return "error: usage: add <filter> <srcIP> <srcPort> <dstIP> <dstPort> [args]\n"
+		}
+		k, err := filter.ParseKey(rest[1:5])
+		if err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		if err := p.AddFilter(rest[0], k, rest[5:]); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return ""
+	case "delete":
+		if len(rest) != 5 {
+			return "error: usage: delete <filter> <srcIP> <srcPort> <dstIP> <dstPort>\n"
+		}
+		k, err := filter.ParseKey(rest[1:5])
+		if err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		if err := p.DeleteFilter(rest[0], k); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return ""
+	case "service":
+		// service <name> <filter[:args]>... — define a composition
+		// (thesis §10.2.1's layered service abstraction).
+		if len(rest) < 2 {
+			return "error: usage: service <name> <filter[:args]>...\n"
+		}
+		if err := p.DefineService(rest[0], rest[1:]); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return ""
+	case "unservice":
+		if len(rest) != 1 {
+			return "error: usage: unservice <name>\n"
+		}
+		if err := p.UndefineService(rest[0]); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return ""
+	case "services":
+		var b strings.Builder
+		for _, n := range p.Services() {
+			specs, _ := p.ServiceSpec(n)
+			fmt.Fprintf(&b, "%s = %s\n", n, strings.Join(specs, " "))
+		}
+		return b.String()
+	case "report":
+		name := ""
+		if len(rest) > 0 {
+			name = rest[0]
+		}
+		out, err := p.Report(name)
+		if err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return out
+	case "filters":
+		// Extension used by Kati: the loaded pool and what the catalog
+		// could still load.
+		var b strings.Builder
+		for _, n := range p.LoadedFilters() {
+			desc := ""
+			if f, ok := p.pool[n]; ok {
+				desc = "\t" + f.Description()
+			}
+			fmt.Fprintf(&b, "loaded: %s%s\n", n, desc)
+		}
+		loaded := map[string]bool{}
+		for _, n := range p.LoadedFilters() {
+			loaded[n] = true
+		}
+		for _, n := range p.Available() {
+			if !loaded[n] {
+				fmt.Fprintf(&b, "available: %s\n", n)
+			}
+		}
+		return b.String()
+	case "streams":
+		// Extension used by Kati: per-stream packet/byte accounting.
+		var b strings.Builder
+		for _, si := range p.Streams() {
+			fmt.Fprintf(&b, "%s\t[%s]\t%d pkts %d bytes\n",
+				si.Key, strings.Join(si.Filters, ","), si.Packets, si.Bytes)
+		}
+		return b.String()
+	case "help":
+		return "commands: load remove add delete report streams filters service unservice services auth help\n"
+	default:
+		return fmt.Sprintf("error: unknown command %q\n", cmd)
+	}
+}
+
+// ServeControl exposes the command interface on the given simulated
+// TCP stack, one command per line, mirroring the thesis's telnet
+// interface on port 12000.
+func ServeControl(stack *tcp.Stack, port uint16, p *Proxy) error {
+	_, err := stack.Listen(port, func(c *tcp.Conn) {
+		var buf []byte
+		c.OnData = func(b []byte) {
+			buf = append(buf, b...)
+			for {
+				i := indexByte(buf, '\n')
+				if i < 0 {
+					return
+				}
+				line := strings.TrimRight(string(buf[:i]), "\r")
+				buf = buf[i+1:]
+				if out := p.Command(line); out != "" {
+					if err := c.Write([]byte(out)); err != nil {
+						return
+					}
+				}
+			}
+		}
+		c.OnRemoteClose = func() { c.Close() }
+	})
+	return err
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ControlPolicy restricts who may use the control interface — the
+// thesis's chapter 9 concern: a proxy executes third-party filter code
+// at a sensitive network position, so service control must not be open
+// to arbitrary hosts.
+type ControlPolicy struct {
+	// AllowedPeers lists source addresses permitted to connect; empty
+	// means any peer may connect.
+	AllowedPeers []ip.Addr
+	// Token, when non-empty, must be presented with `auth <token>`
+	// before any mutating command (load/remove/add/delete/service).
+	// Read-only commands (report, streams, services, help) are always
+	// available to connected peers.
+	Token string
+}
+
+// peerAllowed reports whether addr may open a control session.
+func (cp *ControlPolicy) peerAllowed(addr ip.Addr) bool {
+	if cp == nil || len(cp.AllowedPeers) == 0 {
+		return true
+	}
+	for _, a := range cp.AllowedPeers {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// mutating reports whether a command changes proxy state.
+func mutating(cmd string) bool {
+	switch cmd {
+	case "load", "remove", "add", "delete", "service", "unservice":
+		return true
+	}
+	return false
+}
+
+// ControlSession wraps Command with the per-connection authentication
+// state of a ControlPolicy.
+type ControlSession struct {
+	p      *Proxy
+	policy *ControlPolicy
+	authed bool
+}
+
+// NewControlSession creates a session under the given policy (nil
+// policy = fully open, matching the thesis's prototype).
+func NewControlSession(p *Proxy, policy *ControlPolicy) *ControlSession {
+	return &ControlSession{p: p, policy: policy}
+}
+
+// Exec runs one command line under the session's authentication state.
+func (s *ControlSession) Exec(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return ""
+	}
+	if fields[0] == "auth" {
+		if s.policy == nil || s.policy.Token == "" {
+			return "error: authentication not enabled\n"
+		}
+		if len(fields) == 2 && fields[1] == s.policy.Token {
+			s.authed = true
+			return ""
+		}
+		return "error: bad token\n"
+	}
+	if s.policy != nil && s.policy.Token != "" && !s.authed && mutating(fields[0]) {
+		return "error: authentication required (auth <token>)\n"
+	}
+	return s.p.Command(line)
+}
+
+// ServeControlWithPolicy is ServeControl with per-peer access control
+// and per-session authentication.
+func ServeControlWithPolicy(stack *tcp.Stack, port uint16, p *Proxy, policy *ControlPolicy) error {
+	_, err := stack.Listen(port, func(c *tcp.Conn) {
+		if !policy.peerAllowed(c.RemoteAddr()) {
+			c.Abort()
+			return
+		}
+		sess := NewControlSession(p, policy)
+		var buf []byte
+		c.OnData = func(b []byte) {
+			buf = append(buf, b...)
+			for {
+				i := indexByte(buf, '\n')
+				if i < 0 {
+					return
+				}
+				line := strings.TrimRight(string(buf[:i]), "\r")
+				buf = buf[i+1:]
+				if out := sess.Exec(line); out != "" {
+					if err := c.Write([]byte(out)); err != nil {
+						return
+					}
+				}
+			}
+		}
+		c.OnRemoteClose = func() { c.Close() }
+	})
+	return err
+}

@@ -1,0 +1,500 @@
+// Package proxy implements the Comma Service Proxy (thesis chapter 5):
+// packet interception at a routing bottleneck, a stream registry of
+// wild-card keys bound to filters, per-stream filter queues with the
+// in/out priority discipline of Fig 5.2, filter accounting, and the
+// telnet-style command interface of §5.3.
+package proxy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/filter"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// attachment is one filter instance's hooks spliced into a queue.
+type attachment struct {
+	hooks filter.Hooks
+	seq   int // insertion order breaks priority ties (FIFO)
+}
+
+// queue is the double filter queue of one exact stream key: conceptually
+// an in queue (descending priority) and an out queue (ascending
+// priority) over the same attachments (thesis Fig 5.2).
+type queue struct {
+	key      filter.Key
+	attached []*attachment // kept sorted by descending priority, then seq
+	pkts     int64
+	bytes    int64
+}
+
+func (q *queue) insert(a *attachment) {
+	i := sort.Search(len(q.attached), func(i int) bool {
+		b := q.attached[i]
+		if b.hooks.Priority != a.hooks.Priority {
+			return b.hooks.Priority < a.hooks.Priority
+		}
+		return b.seq > a.seq
+	})
+	q.attached = append(q.attached, nil)
+	copy(q.attached[i+1:], q.attached[i:])
+	q.attached[i] = a
+}
+
+// registration is a stream-registry entry: a (wild-card) key bound to a
+// loaded filter with arguments.
+type registration struct {
+	key     filter.Key
+	factory filter.Factory
+	args    []string
+}
+
+// Proxy is a Comma service proxy instance attached to one node of the
+// simulated network.
+type Proxy struct {
+	node    *netsim.Node
+	catalog *filter.Catalog
+
+	pool     map[string]filter.Factory // loaded filters
+	services map[string]*serviceDef    // named compositions (§10.2.1)
+	registry []*registration
+	queues   map[filter.Key]*queue
+	seq      int
+
+	// Log, when non-nil, receives diagnostic lines from filters and
+	// the proxy itself.
+	Log func(string)
+
+	// metricSource, when set, answers filters' execution-environment
+	// queries (filter.Metrics); typically wired to the host's EEM
+	// variable source.
+	metricSource func(name string, index int) (float64, bool)
+
+	// Stats counts proxy-level events.
+	Stats Stats
+}
+
+// Stats counts packets through the interception module.
+type Stats struct {
+	Intercepted     int64
+	Filtered        int64 // packets that traversed a non-empty queue
+	DroppedByFilter int64
+	Injected        int64
+	Reinjected      int64
+}
+
+// New attaches a new service proxy to node, installing its packet
+// hook. Filters are loaded from catalog by the load command.
+func New(node *netsim.Node, catalog *filter.Catalog) *Proxy {
+	p := &Proxy{
+		node:    node,
+		catalog: catalog,
+		pool:    make(map[string]filter.Factory),
+		queues:  make(map[filter.Key]*queue),
+	}
+	node.SetHook(p.intercept)
+	return p
+}
+
+// Node returns the network node hosting the proxy.
+func (p *Proxy) Node() *netsim.Node { return p.node }
+
+// --- filter.Env -------------------------------------------------------------
+
+// Clock implements filter.Env.
+func (p *Proxy) Clock() *sim.Scheduler { return p.node.Clock() }
+
+// Attach implements filter.Env: it splices hooks into the queue for
+// exact key k, creating the queue if necessary.
+func (p *Proxy) Attach(k filter.Key, h filter.Hooks) (func(), error) {
+	if k.IsWild() {
+		return nil, fmt.Errorf("proxy: cannot attach hooks to wild-card key %v", k)
+	}
+	q := p.queues[k]
+	if q == nil {
+		q = &queue{key: k}
+		p.queues[k] = q
+	}
+	a := &attachment{hooks: h, seq: p.seq}
+	p.seq++
+	q.insert(a)
+	detached := false
+	return func() {
+		if detached {
+			return
+		}
+		detached = true
+		p.detach(q, a)
+	}, nil
+}
+
+func (p *Proxy) detach(q *queue, a *attachment) {
+	for i, b := range q.attached {
+		if b == a {
+			q.attached = append(q.attached[:i], q.attached[i+1:]...)
+			if a.hooks.OnClose != nil {
+				a.hooks.OnClose()
+			}
+			break
+		}
+	}
+	if len(q.attached) == 0 {
+		delete(p.queues, q.key)
+	}
+}
+
+// RemoveStream implements filter.Env: tear down the queue for k.
+func (p *Proxy) RemoveStream(k filter.Key) {
+	q := p.queues[k]
+	if q == nil {
+		return
+	}
+	delete(p.queues, k)
+	for _, a := range q.attached {
+		if a.hooks.OnClose != nil {
+			a.hooks.OnClose()
+		}
+	}
+}
+
+// Inject implements filter.Env: emit a raw datagram from the proxy.
+func (p *Proxy) Inject(raw []byte) {
+	p.Stats.Injected++
+	p.node.InjectPacket(raw)
+}
+
+// Logf implements filter.Env.
+func (p *Proxy) Logf(format string, args ...any) {
+	if p.Log != nil {
+		p.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+var _ filter.Env = (*Proxy)(nil)
+var _ filter.Spawner = (*Proxy)(nil)
+var _ filter.Metrics = (*Proxy)(nil)
+
+// SetMetricSource wires the proxy host's execution-environment
+// variables (e.g. an eem.NodeSource) into the filters' Env.
+func (p *Proxy) SetMetricSource(fn func(name string, index int) (float64, bool)) {
+	p.metricSource = fn
+}
+
+// Metric implements filter.Metrics.
+func (p *Proxy) Metric(name string, index int) (float64, bool) {
+	if p.metricSource == nil {
+		return 0, false
+	}
+	return p.metricSource(name, index)
+}
+
+// Spawn implements filter.Spawner: instantiate a loaded filter on an
+// exact key without creating a stream-registry entry. The launcher
+// filter uses this to apply its configured services to each new
+// stream matching its wild-card key.
+func (p *Proxy) Spawn(name string, k filter.Key, args []string) error {
+	f, ok := p.pool[name]
+	if !ok {
+		return fmt.Errorf("proxy: spawn: filter %q not loaded", name)
+	}
+	if k.IsWild() {
+		return fmt.Errorf("proxy: spawn: key %v is not exact", k)
+	}
+	return f.New(p, k, args)
+}
+
+// --- interception path -------------------------------------------------------
+
+// intercept is the node packet hook: parse, match, build queues on
+// demand, run the in and out queues, and reinject.
+func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
+	p.Stats.Intercepted++
+	pkt, err := filter.Parse(raw)
+	if err != nil {
+		return [][]byte{raw} // unparseable: pass through untouched
+	}
+	q := p.queues[pkt.Key]
+	if q == nil {
+		q = p.buildQueue(pkt.Key)
+	}
+	if q == nil || len(q.attached) == 0 {
+		return [][]byte{raw}
+	}
+	p.Stats.Filtered++
+	q.pkts++
+	q.bytes += int64(len(raw))
+
+	// In queue: descending priority (attached is already sorted that
+	// way). Read-only inspection.
+	for _, a := range q.attached {
+		if a.hooks.In != nil {
+			a.hooks.In(pkt)
+		}
+	}
+	// Out queue: ascending priority — the highest-priority filter
+	// writes last, overriding lower-priority changes (thesis §5.2).
+	for i := len(q.attached) - 1; i >= 0; i-- {
+		if a := q.attached[i]; a.hooks.Out != nil {
+			a.hooks.Out(pkt)
+		}
+	}
+
+	var out [][]byte
+	if pkt.Dropped() {
+		p.Stats.DroppedByFilter++
+	} else {
+		if pkt.Dirty() {
+			// No filter remarshalled the modified packet: emit it with
+			// its stale checksums, as an in-place edit would. Loading
+			// the tcp bookkeeping filter prevents this.
+			if err := pkt.RemarshalStale(); err != nil {
+				p.Logf("proxy: remarshal of dirty packet failed: %v", err)
+			}
+		}
+		p.Stats.Reinjected++
+		out = append(out, pkt.Raw)
+	}
+	for _, extra := range pkt.Injections() {
+		p.Stats.Injected++
+		out = append(out, extra)
+	}
+	return out
+}
+
+// buildQueue instantiates every registered filter whose wild-card key
+// matches the new exact key (thesis: "a filter queue is built by
+// creating a new instantiation of each filter object in the stream
+// registry whose associated wild-card key matches the packet key").
+// Returns nil when no registration matches.
+func (p *Proxy) buildQueue(k filter.Key) *queue {
+	matched := false
+	for _, r := range p.registry {
+		if r.key.Matches(k) {
+			matched = true
+			if err := r.factory.New(p, k, r.args); err != nil {
+				p.Logf("proxy: %s insertion on %v failed: %v", r.factory.Name(), k, err)
+			}
+		}
+	}
+	if !matched {
+		return nil
+	}
+	return p.queues[k] // filters attached via Env.Attach
+}
+
+// --- command operations (§5.3.1) ---------------------------------------------
+
+// LoadFilter implements the "load" command: fetch a factory from the
+// catalog into the filter pool. Returns the registered filter name.
+func (p *Proxy) LoadFilter(name string) (string, error) {
+	f, err := p.catalog.Load(name)
+	if err != nil {
+		return "", err
+	}
+	if _, dup := p.pool[f.Name()]; dup {
+		return "", fmt.Errorf("proxy: filter %q already loaded", f.Name())
+	}
+	p.pool[f.Name()] = f
+	return f.Name(), nil
+}
+
+// UnloadFilter implements the "remove" command: drop the filter from
+// the pool along with its registrations and live attachments.
+func (p *Proxy) UnloadFilter(name string) error {
+	if _, ok := p.pool[name]; !ok {
+		return fmt.Errorf("proxy: filter %q not loaded", name)
+	}
+	delete(p.pool, name)
+	keep := p.registry[:0]
+	for _, r := range p.registry {
+		if r.factory.Name() != name {
+			keep = append(keep, r)
+		}
+	}
+	p.registry = keep
+	p.removeAttachments(name, func(filter.Key) bool { return true })
+	return nil
+}
+
+// AddFilter implements the "add" command: bind the loaded filter to a
+// (possibly wild-card) key with arguments. Exact keys are serviced
+// immediately; wild-card keys take effect as matching streams appear,
+// and also instantiate on currently-active matching streams.
+func (p *Proxy) AddFilter(name string, k filter.Key, args []string) error {
+	var f filter.Factory
+	if d, isSvc := p.services[name]; isSvc {
+		f = &serviceFactory{p: p, d: d}
+	} else {
+		var ok bool
+		f, ok = p.pool[name]
+		if !ok {
+			return fmt.Errorf("proxy: filter %q not loaded", name)
+		}
+	}
+	p.registry = append(p.registry, &registration{key: k, factory: f, args: args})
+	if !k.IsWild() {
+		return f.New(p, k, args)
+	}
+	// Service active streams that match the new wild-card.
+	var live []filter.Key
+	for qk := range p.queues {
+		if k.Matches(qk) {
+			live = append(live, qk)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].String() < live[j].String() })
+	for _, qk := range live {
+		if err := f.New(p, qk, args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteFilter implements the "delete" command: remove the filter's
+// registration and attachments for the given key.
+func (p *Proxy) DeleteFilter(name string, k filter.Key) error {
+	_, isSvc := p.services[name]
+	if _, ok := p.pool[name]; !ok && !isSvc {
+		return fmt.Errorf("proxy: filter %q not loaded", name)
+	}
+	keep := p.registry[:0]
+	for _, r := range p.registry {
+		if r.factory.Name() == name && r.key == k {
+			continue
+		}
+		keep = append(keep, r)
+	}
+	p.registry = keep
+	// Remove attachments on the exact key and its reverse (filters
+	// conventionally attach both directions), or on all matching keys
+	// for a wild-card delete.
+	p.removeAttachments(name, func(qk filter.Key) bool {
+		if k.IsWild() {
+			return k.Matches(qk)
+		}
+		return qk == k || qk == k.Reverse()
+	})
+	return nil
+}
+
+func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
+	for qk, q := range p.queues {
+		if !match(qk) {
+			continue
+		}
+		kept := q.attached[:0]
+		for _, a := range q.attached {
+			if a.hooks.Filter == name {
+				if a.hooks.OnClose != nil {
+					a.hooks.OnClose()
+				}
+				continue
+			}
+			kept = append(kept, a)
+		}
+		q.attached = kept
+		if len(q.attached) == 0 {
+			delete(p.queues, qk)
+		}
+	}
+}
+
+// Report implements the "report" command: for each loaded filter (or
+// just the named one), list the exact stream keys it services, in the
+// format of thesis Fig 5.3.
+func (p *Proxy) Report(name string) (string, error) {
+	if name != "" {
+		_, isFilter := p.pool[name]
+		_, isSvc := p.services[name]
+		if !isFilter && !isSvc {
+			return "", fmt.Errorf("proxy: filter %q not loaded", name)
+		}
+	}
+	// Gather keys per filter: live attachments plus wild-card
+	// registrations (shown with their wild-card key, as the thesis's
+	// launcher line "11.11.10.10 0 -> 0.0.0.0 0" does).
+	perFilter := make(map[string][]string)
+	for _, r := range p.registry {
+		if r.key.IsWild() {
+			perFilter[r.factory.Name()] = append(perFilter[r.factory.Name()], r.key.String())
+		}
+	}
+	for qk, q := range p.queues {
+		for _, a := range q.attached {
+			perFilter[a.hooks.Filter] = append(perFilter[a.hooks.Filter], qk.String())
+		}
+	}
+	var names []string
+	if name != "" {
+		names = []string{name}
+	} else {
+		for n := range p.pool {
+			names = append(names, n)
+		}
+		for n := range p.services {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	var b strings.Builder
+	for _, n := range names {
+		keys := perFilter[n]
+		sort.Strings(keys)
+		keys = dedup(keys)
+		fmt.Fprintf(&b, "%s\n", n)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "\t%s\n", k)
+		}
+	}
+	return b.String(), nil
+}
+
+func dedup(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Streams returns the exact keys with live filter queues, sorted, with
+// the filter names attached to each — Kati's stream view.
+func (p *Proxy) Streams() []StreamInfo {
+	var out []StreamInfo
+	for k, q := range p.queues {
+		si := StreamInfo{Key: k, Packets: q.pkts, Bytes: q.bytes}
+		for _, a := range q.attached {
+			si.Filters = append(si.Filters, a.hooks.Filter)
+		}
+		out = append(out, si)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// StreamInfo describes one live serviced stream for monitoring.
+type StreamInfo struct {
+	Key     filter.Key
+	Filters []string // in queue order (descending priority)
+	Packets int64
+	Bytes   int64
+}
+
+// LoadedFilters lists the filter pool, sorted by name.
+func (p *Proxy) LoadedFilters() []string {
+	var out []string
+	for n := range p.pool {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Available lists filters the catalog could load.
+func (p *Proxy) Available() []string { return p.catalog.Names() }

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Realtime advances a Scheduler in step with wall-clock time, so a
+// simulated system can interact with real network clients (the spd and
+// eemd daemons). The scheduler is single-threaded: all work that
+// touches it — or any state owned by its callbacks — must be submitted
+// through Do/DoSync and executes between simulation steps.
+type Realtime struct {
+	s    *Scheduler
+	do   chan func()
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewRealtime wraps a scheduler for wall-clock-paced execution.
+func NewRealtime(s *Scheduler) *Realtime {
+	return &Realtime{s: s, do: make(chan func(), 64), stop: make(chan struct{})}
+}
+
+// Do submits fn for execution on the simulation goroutine.
+func (r *Realtime) Do(fn func()) {
+	select {
+	case r.do <- fn:
+	case <-r.stop:
+	}
+}
+
+// DoSync runs fn on the simulation goroutine and waits for it.
+func (r *Realtime) DoSync(fn func()) {
+	done := make(chan struct{})
+	r.Do(func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-r.stop:
+	}
+}
+
+// Run drives the scheduler until Stop is called. It must be the only
+// goroutine touching the scheduler. step is the granularity at which
+// virtual time chases wall-clock time (e.g. 5ms).
+func (r *Realtime) Run(step time.Duration) {
+	if step <= 0 {
+		step = 5 * time.Millisecond
+	}
+	startWall := time.Now()
+	startSim := r.s.Now()
+	ticker := time.NewTicker(step)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case fn := <-r.do:
+			fn()
+		case <-ticker.C:
+			target := startSim.Add(time.Since(startWall))
+			r.s.RunUntil(target)
+		}
+	}
+}
+
+// Stop terminates Run and unblocks pending Do calls.
+func (r *Realtime) Stop() {
+	r.once.Do(func() { close(r.stop) })
+}

@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event scheduler with a
+// virtual clock. Every component of the simulated network (links, TCP
+// endpoints, the service proxy, the EEM) schedules work on a single
+// Scheduler, so whole-system experiments run repeatably and far faster
+// than real time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the
+// start of the run. The zero Time is the beginning of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for callers' convenience; virtual
+// durations use the same unit as wall-clock durations.
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as a duration from the simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback. seq breaks ties so events scheduled at
+// the same instant fire in scheduling order (deterministic FIFO).
+type event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event. Stop cancels the event if it
+// has not yet fired.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the
+// event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index == -1 {
+		return false
+	}
+	t.ev.stopped = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index != -1
+}
+
+// Scheduler owns the virtual clock and the pending-event queue.
+// The zero value is not usable; call NewScheduler.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// NewScheduler returns a scheduler whose clock reads zero and whose
+// random source is seeded with seed (deterministic per seed).
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source. All
+// stochastic components (loss models, jitter) must draw from it so a
+// run is reproducible from its seed.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at the absolute virtual time t. Scheduling in
+// the past panics: it indicates a logic error in the caller.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return &Timer{ev: e}
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its
+// deadline. It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.stopped {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty or the
+// next event lies after deadline. The clock is left at the later of its
+// current value and deadline... precisely: at the time of the last
+// event executed, then advanced to deadline.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.events) > 0 {
+		// Peek; skip stopped events without advancing time.
+		e := s.events[0]
+		if e.stopped {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Run drains the event queue completely. Use with care: components that
+// re-arm periodic timers forever will never let Run return; give those
+// components a stop mechanism or use RunUntil.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of live (non-cancelled) events queued.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.stopped {
+			n++
+		}
+	}
+	return n
+}

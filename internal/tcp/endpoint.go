@@ -1,0 +1,284 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+)
+
+// State is a TCP connection state (RFC 793 §3.2).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK", "TIME_WAIT",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Network is the IP service a Stack runs over: a host in the simulated
+// network (or any other packet carrier).
+type Network interface {
+	// SendIP emits an IP datagram with the given protocol and payload
+	// toward dst, using the host's primary address as source.
+	SendIP(dst ip.Addr, proto byte, payload []byte)
+	// SendIPFrom is SendIP with an explicit source address, needed on
+	// multi-homed hosts so segments leave with the address the
+	// connection is bound to.
+	SendIPFrom(src, dst ip.Addr, proto byte, payload []byte)
+	// Addr returns the host's primary IP address.
+	Addr() ip.Addr
+	// Clock returns the scheduler driving this host.
+	Clock() *sim.Scheduler
+}
+
+// Config tunes a Stack. The zero value selects the defaults below.
+type Config struct {
+	MSS    uint16 // default 1460
+	RcvWnd int    // receive window in bytes, default 65535
+	// Nagle enables RFC 896 small-segment coalescing: sub-MSS data is
+	// held back while earlier data is unacknowledged. Off by default —
+	// the thesis-era interactive experiments want each exchange on the
+	// wire immediately.
+	Nagle           bool
+	MinRTO          time.Duration // default 200ms
+	MaxRTO          time.Duration // default 60s
+	InitialRTO      time.Duration // default 1s
+	TimeWait        time.Duration // default 1s (shortened 2MSL for simulation)
+	PersistBase     time.Duration // zero-window probe base interval, default 500ms
+	PersistMax      time.Duration // probe backoff cap, default 8s
+	InitialCwndSegs int           // default 2 segments
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.RcvWnd == 0 {
+		c.RcvWnd = 65535
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * time.Second
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = time.Second
+	}
+	if c.TimeWait == 0 {
+		c.TimeWait = time.Second
+	}
+	if c.PersistBase == 0 {
+		c.PersistBase = 500 * time.Millisecond
+	}
+	if c.PersistMax == 0 {
+		c.PersistMax = 8 * time.Second
+	}
+	if c.InitialCwndSegs == 0 {
+		c.InitialCwndSegs = 2
+	}
+	return c
+}
+
+type fourTuple struct {
+	localAddr  ip.Addr
+	localPort  uint16
+	remoteAddr ip.Addr
+	remotePort uint16
+}
+
+func (t fourTuple) String() string {
+	return fmt.Sprintf("%v:%d -> %v:%d", t.localAddr, t.localPort, t.remoteAddr, t.remotePort)
+}
+
+// Stack is a host TCP implementation: a demultiplexer of segments to
+// connections plus a listener table.
+type Stack struct {
+	net       Network
+	cfg       Config
+	conns     map[fourTuple]*Conn
+	listeners map[uint16]*Listener
+	ephemeral uint16
+
+	// OnSegment, when non-nil, observes every segment the stack sends
+	// (send=true) or receives (send=false), for traces and tests.
+	OnSegment func(send bool, src, dst ip.Addr, seg *Segment)
+
+	mib MIB
+}
+
+// NewStack creates a TCP stack on the given network host.
+func NewStack(n Network, cfg Config) *Stack {
+	return &Stack{
+		net:       n,
+		cfg:       cfg.withDefaults(),
+		conns:     make(map[fourTuple]*Conn),
+		listeners: make(map[uint16]*Listener),
+		ephemeral: 1024,
+	}
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	stack  *Stack
+	port   uint16
+	accept func(*Conn)
+	closed bool
+}
+
+// Close stops accepting new connections. Existing connections live on.
+func (l *Listener) Close() {
+	if !l.closed {
+		l.closed = true
+		delete(l.stack.listeners, l.port)
+	}
+}
+
+// Listen registers accept to be called with each connection that
+// completes the handshake on port.
+func (s *Stack) Listen(port uint16, accept func(*Conn)) (*Listener, error) {
+	if _, dup := s.listeners[port]; dup {
+		return nil, fmt.Errorf("tcp: port %d already listening", port)
+	}
+	l := &Listener{stack: s, port: port, accept: accept}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Connect opens a connection to raddr:rport from an ephemeral local
+// port. The returned Conn is in SYN_SENT; use OnEstablished to learn
+// when the handshake completes.
+func (s *Stack) Connect(raddr ip.Addr, rport uint16) (*Conn, error) {
+	return s.ConnectFrom(0, raddr, rport)
+}
+
+// ConnectFrom is Connect with an explicit local port (0 = ephemeral).
+func (s *Stack) ConnectFrom(lport uint16, raddr ip.Addr, rport uint16) (*Conn, error) {
+	if lport == 0 {
+		for i := 0; i < 65536; i++ {
+			cand := s.ephemeral
+			s.ephemeral++
+			if s.ephemeral == 0 {
+				s.ephemeral = 1024
+			}
+			if _, used := s.conns[fourTuple{s.net.Addr(), cand, raddr, rport}]; !used {
+				lport = cand
+				break
+			}
+		}
+		if lport == 0 {
+			return nil, errors.New("tcp: no free ephemeral ports")
+		}
+	}
+	t := fourTuple{s.net.Addr(), lport, raddr, rport}
+	if _, dup := s.conns[t]; dup {
+		return nil, fmt.Errorf("tcp: connection %v already exists", t)
+	}
+	c := s.newConn(t)
+	s.conns[t] = c
+	s.mib.ActiveOpens++
+	c.state = StateSynSent
+	c.iss = uint32(s.net.Clock().Rand().Int31())
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.sndMax = c.sndNxt
+	c.sendSegment(&Segment{Flags: FlagSYN, Seq: c.iss, Window: uint16(c.rcvWndSize()), MSS: s.cfg.MSS})
+	c.armRetransmit()
+	return c, nil
+}
+
+// Deliver hands the stack a TCP segment carried in an IP datagram from
+// src to dst. Hosts call this from their protocol demux.
+func (s *Stack) Deliver(src, dst ip.Addr, payload []byte) {
+	s.mib.InSegs++
+	if !VerifyChecksum(src, dst, payload) {
+		s.mib.InErrs++
+		return // corrupted in flight or by a buggy filter: drop silently
+	}
+	seg, err := Unmarshal(payload)
+	if err != nil {
+		s.mib.InErrs++
+		return
+	}
+	if s.OnSegment != nil {
+		s.OnSegment(false, src, dst, &seg)
+	}
+	t := fourTuple{dst, seg.DstPort, src, seg.SrcPort}
+	if c, ok := s.conns[t]; ok {
+		c.handle(&seg)
+		return
+	}
+	if l, ok := s.listeners[seg.DstPort]; ok && seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		s.acceptSyn(l, t, &seg)
+		return
+	}
+	// No socket: answer with RST unless the offender was itself a RST.
+	if seg.Flags&FlagRST == 0 {
+		rst := &Segment{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Flags: FlagRST | FlagACK,
+			Ack:   seg.Seq + seg.SeqLen(),
+		}
+		s.transmit(dst, src, rst)
+	}
+}
+
+func (s *Stack) acceptSyn(l *Listener, t fourTuple, seg *Segment) {
+	c := s.newConn(t)
+	s.conns[t] = c
+	s.mib.PassiveOpens++
+	c.state = StateSynRcvd
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq + 1
+	c.iss = uint32(s.net.Clock().Rand().Int31())
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.sndMax = c.sndNxt
+	c.sndWnd = int(seg.Window)
+	if seg.MSS != 0 && seg.MSS < c.smss {
+		c.smss = seg.MSS
+	}
+	c.acceptFn = l.accept
+	c.sendSegment(&Segment{
+		Flags: FlagSYN | FlagACK, Seq: c.iss, Ack: c.rcvNxt,
+		Window: uint16(c.rcvWndSize()), MSS: s.cfg.MSS,
+	})
+	c.armRetransmit()
+}
+
+// transmit marshals and emits a segment that is not tied to a live
+// connection (RSTs to unknown ports).
+func (s *Stack) transmit(src, dst ip.Addr, seg *Segment) {
+	s.mib.OutSegs++
+	if s.OnSegment != nil {
+		s.OnSegment(true, src, dst, seg)
+	}
+	s.net.SendIPFrom(src, dst, ip.ProtoTCP, seg.Marshal(src, dst))
+}
+
+// ConnCount returns the number of live connections (tests).
+func (s *Stack) ConnCount() int { return len(s.conns) }

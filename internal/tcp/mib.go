@@ -1,0 +1,31 @@
+package tcp
+
+// MIB holds the stack-wide counters of the SNMP MIB-II tcp group
+// (RFC 1213), which the thesis's EEM exports (Table 6.1). Gauges
+// (tcpCurrEstab) are computed on demand; counters accumulate for the
+// stack's lifetime.
+type MIB struct {
+	ActiveOpens  int64 // transitions CLOSED -> SYN_SENT
+	PassiveOpens int64 // transitions LISTEN -> SYN_RCVD
+	AttemptFails int64 // handshakes that never reached ESTABLISHED
+	EstabResets  int64 // resets out of ESTABLISHED/CLOSE_WAIT
+	InSegs       int64 // segments received, including errors
+	OutSegs      int64 // segments sent, excluding retransmissions
+	RetransSegs  int64 // segments retransmitted
+	InErrs       int64 // segments discarded for bad checksum/format
+}
+
+// MIB returns a snapshot of the stack's protocol counters.
+func (s *Stack) MIB() MIB { return s.mib }
+
+// CurrEstab counts connections currently in ESTABLISHED or CLOSE_WAIT
+// (the SNMP tcpCurrEstab gauge).
+func (s *Stack) CurrEstab() int {
+	n := 0
+	for _, c := range s.conns {
+		if c.state == StateEstablished || c.state == StateCloseWait {
+			n++
+		}
+	}
+	return n
+}
