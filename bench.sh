@@ -1,0 +1,8 @@
+#!/bin/sh
+# Run the hot-path micro-benchmarks (internal/perf) with allocation
+# reporting and enough samples for benchstat. Extra args pass through,
+# e.g.:  ./bench.sh -bench InterceptPassThrough
+#        ./bench.sh > new.txt && benchstat old.txt new.txt
+set -e
+cd "$(dirname "$0")"
+exec go test ./internal/perf -run '^$' -bench . -benchmem -count=10 "$@"

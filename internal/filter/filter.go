@@ -8,6 +8,7 @@ package filter
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -55,7 +56,8 @@ func (k Key) String() string {
 
 // ParseKey parses the four whitespace-separated fields of a key as
 // given to the SP "add" command: srcIP srcPort dstIP dstPort. Zeros
-// are wild-cards.
+// are wild-cards. Fields must parse exactly — trailing junk in a port
+// ("7x") or address is an error, not silently truncated.
 func ParseKey(fields []string) (Key, error) {
 	var k Key
 	if len(fields) != 4 {
@@ -65,15 +67,15 @@ func ParseKey(fields []string) (Key, error) {
 	if k.SrcIP, err = ip.ParseAddr(fields[0]); err != nil {
 		return k, err
 	}
-	var p int
-	if _, err = fmt.Sscanf(fields[1], "%d", &p); err != nil || p < 0 || p > 65535 {
+	p, err := strconv.ParseUint(fields[1], 10, 16)
+	if err != nil {
 		return k, fmt.Errorf("filter: bad source port %q", fields[1])
 	}
 	k.SrcPort = uint16(p)
 	if k.DstIP, err = ip.ParseAddr(fields[2]); err != nil {
 		return k, err
 	}
-	if _, err = fmt.Sscanf(fields[3], "%d", &p); err != nil || p < 0 || p > 65535 {
+	if p, err = strconv.ParseUint(fields[3], 10, 16); err != nil {
 		return k, fmt.Errorf("filter: bad destination port %q", fields[3])
 	}
 	k.DstPort = uint16(p)
@@ -115,6 +117,14 @@ func (p Priority) String() string {
 // methods may rewrite header fields and payload and must call
 // MarkDirty so a re-marshalling filter (the tcp filter) or the proxy
 // knows the raw bytes are stale.
+//
+// Packets come from a pool: Parse recycles structs returned by
+// Release, so the decoded view is only valid until the owner (the
+// interception path) releases it. Filters that need any part of a
+// packet beyond the current hook invocation must copy it (snoop's
+// Encode snapshot, the TTSF's payload snapshot); holding the *Packet,
+// its TCP/UDP pointers, or slices of its decoded headers across
+// packets is a use-after-release bug.
 type Packet struct {
 	Raw []byte        // datagram as intercepted (stale once dirty)
 	IP  ip.Header     // decoded network header
@@ -128,33 +138,71 @@ type Packet struct {
 	dropped bool
 	dirty   bool
 	injects [][]byte
+
+	// Pool-resident decode targets: TCP/UDP point at these when the
+	// transport parses, so a recycled Packet performs no per-parse
+	// header allocations.
+	tcpSeg tcp.Segment
+	udpDgm udp.Datagram
+	// segBuf is scratch for the transport-layer marshal inside
+	// Remarshal/Encode. It never escapes the Packet: only the final
+	// IP-layer buffer (which must stay immutable once handed to the
+	// network) is freshly allocated.
+	segBuf []byte
 }
+
+// packetPool recycles Packet structs between Parse and Release. Raw
+// datagram bytes are never pooled — they are owned by the network and
+// may be in flight after the Packet is released.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
 
 // Parse decodes a raw IP datagram into a Packet. TCP segments are
 // decoded when the protocol is TCP and the bytes parse; otherwise TCP
 // stays nil and the transport payload is exposed via Data.
+//
+// The returned Packet is pool-backed: callers that process packets in
+// a loop (the proxy's interception path) should call Release when
+// done so steady-state parsing is allocation-free. Dropping the
+// Packet without releasing it is safe, merely slower.
 func Parse(raw []byte) (*Packet, error) {
 	h, payload, err := ip.Unmarshal(raw)
 	if err != nil {
 		return nil, err
 	}
-	p := &Packet{Raw: raw, IP: h, Data: payload}
+	p := packetPool.Get().(*Packet)
+	p.Raw, p.IP, p.Data = raw, h, payload
 	p.Key = Key{SrcIP: h.Src, DstIP: h.Dst}
 	switch h.Protocol {
 	case ip.ProtoTCP:
 		if seg, err := tcp.Unmarshal(payload); err == nil {
-			p.TCP = &seg
+			p.tcpSeg = seg
+			p.TCP = &p.tcpSeg
 			p.Key.SrcPort = seg.SrcPort
 			p.Key.DstPort = seg.DstPort
 		}
 	case ip.ProtoUDP:
 		if d, err := udp.Unmarshal(payload); err == nil {
-			p.UDP = &d
+			p.udpDgm = d
+			p.UDP = &p.udpDgm
 			p.Key.SrcPort = d.SrcPort
 			p.Key.DstPort = d.DstPort
 		}
 	}
 	return p, nil
+}
+
+// Release returns the packet to the parse pool. The caller must be
+// the packet's owner (the code that called Parse) and must not touch
+// the packet — or anything reached through its TCP/UDP pointers —
+// afterwards. Raw bytes and injected datagrams are not recycled; only
+// the decoded view is.
+func (p *Packet) Release() {
+	for i := range p.injects {
+		p.injects[i] = nil
+	}
+	injects, segBuf := p.injects[:0], p.segBuf
+	*p = Packet{injects: injects, segBuf: segBuf}
+	packetPool.Put(p)
 }
 
 // Drop marks the packet to be discarded instead of reinjected.
@@ -173,17 +221,13 @@ func (p *Packet) Dirty() bool { return p.dirty }
 // Remarshal rebuilds Raw from the decoded headers with fresh IP and
 // TCP checksums, clearing the dirty mark. This is what the thesis's
 // "tcp" filter does as the highest-priority out method.
+//
+// The transport segment is marshalled into the packet's scratch
+// buffer (reused across packets); only the final IP datagram — which
+// escapes to the network and must stay immutable in flight — is
+// freshly allocated.
 func (p *Packet) Remarshal() error {
-	var payload []byte
-	switch {
-	case p.TCP != nil:
-		payload = p.TCP.Marshal(p.IP.Src, p.IP.Dst)
-	case p.UDP != nil:
-		payload = p.UDP.Marshal(p.IP.Src, p.IP.Dst)
-	default:
-		payload = p.Data
-	}
-	raw, err := p.IP.Marshal(payload)
+	raw, err := p.IP.Marshal(p.transportBytes())
 	if err != nil {
 		return err
 	}
@@ -192,24 +236,44 @@ func (p *Packet) Remarshal() error {
 	return nil
 }
 
+// transportBytes marshals the decoded transport layer into segBuf,
+// computing checksums, and returns it (or Data when undecoded).
+func (p *Packet) transportBytes() []byte {
+	switch {
+	case p.TCP != nil:
+		p.segBuf = p.TCP.AppendMarshal(p.segBuf[:0], p.IP.Src, p.IP.Dst)
+		return p.segBuf
+	case p.UDP != nil:
+		p.segBuf = p.UDP.AppendMarshal(p.segBuf[:0], p.IP.Src, p.IP.Dst)
+		return p.segBuf
+	default:
+		return p.Data
+	}
+}
+
 // Encode marshals the packet's current decoded state into a fresh
 // byte slice with correct checksums, without touching Raw or the dirty
 // mark. Filters use it to snapshot a packet (e.g. the snoop cache)
 // mid-queue, when Raw may be stale.
 func (p *Packet) Encode() ([]byte, error) {
-	var payload []byte
-	switch {
-	case p.TCP != nil:
-		seg := *p.TCP
-		payload = seg.Marshal(p.IP.Src, p.IP.Dst)
-	case p.UDP != nil:
-		d := *p.UDP
-		payload = d.Marshal(p.IP.Src, p.IP.Dst)
-	default:
-		payload = p.Data
+	var tcpCk, udpCk uint16
+	if p.TCP != nil {
+		tcpCk = p.TCP.Checksum
+	}
+	if p.UDP != nil {
+		udpCk = p.UDP.Checksum
 	}
 	h := p.IP
-	return h.Marshal(payload)
+	b, err := h.Marshal(p.transportBytes())
+	// transportBytes recomputes transport checksums in place; Encode
+	// promises not to modify the packet, so restore the wire values.
+	if p.TCP != nil {
+		p.TCP.Checksum = tcpCk
+	}
+	if p.UDP != nil {
+		p.UDP.Checksum = udpCk
+	}
+	return b, err
 }
 
 // RemarshalStale rebuilds Raw from the decoded headers while

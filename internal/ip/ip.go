@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Protocol numbers carried in the IPv4 Protocol field.
@@ -37,18 +39,24 @@ func AddrFrom4(a, b, c, d byte) Addr {
 	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
 }
 
-// ParseAddr parses a dotted-quad string such as "11.11.10.99".
+// ParseAddr parses a dotted-quad string such as "11.11.10.99". The
+// string must be exactly four decimal octets — trailing characters,
+// signs, or missing parts are errors (control-interface input passes
+// through here, so laxness would silently accept operator typos).
 func ParseAddr(s string) (Addr, error) {
-	var a, b, c, d int
-	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
-		return 0, fmt.Errorf("ip: parse %q: %w", s, err)
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ip: parse %q: need 4 octets", s)
 	}
-	for _, v := range []int{a, b, c, d} {
-		if v < 0 || v > 255 {
-			return 0, fmt.Errorf("ip: parse %q: octet out of range", s)
+	var oct [4]byte
+	for i, ps := range parts {
+		v, err := strconv.ParseUint(ps, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("ip: parse %q: bad octet %q", s, ps)
 		}
+		oct[i] = byte(v)
 	}
-	return AddrFrom4(byte(a), byte(b), byte(c), byte(d)), nil
+	return AddrFrom4(oct[0], oct[1], oct[2], oct[3]), nil
 }
 
 // MustParseAddr is ParseAddr for trusted literals; it panics on error.

@@ -51,6 +51,10 @@ type Relay struct {
 	ports map[uint16]bool
 	pipes []*pipe
 
+	// emit is the reusable pass-through return of hook (see
+	// netsim.Hook's ownership contract).
+	emit [][]byte
+
 	Stats Stats
 }
 
@@ -112,19 +116,33 @@ func New(node *netsim.Node, mobile ip.Addr, ports []uint16, wiredCfg, mobileCfg 
 // ports into the local impersonating stack; everything else passes.
 func (r *Relay) hook(raw []byte, in *netsim.Iface) [][]byte {
 	pkt, err := filter.Parse(raw)
-	if err != nil || pkt.TCP == nil {
-		return [][]byte{raw}
+	if err != nil {
+		return r.passThrough(raw)
+	}
+	if pkt.TCP == nil {
+		pkt.Release()
+		return r.passThrough(raw)
 	}
 	// Wired -> mobile on a relayed port: terminate locally.
 	if pkt.IP.Dst == r.mobile && r.ports[pkt.TCP.DstPort] {
 		r.wiredSide.Deliver(pkt.IP.Src, pkt.IP.Dst, pkt.Data)
+		pkt.Release()
 		return nil
 	}
 	// Mobile -> wired replies to the impersonated connections are
 	// generated locally by wiredSide, so anything arriving *from* the
 	// mobile for a relayed source port belongs to the mobileSide stack
 	// and is delivered by the protocol handler (dst == proxy address).
-	return [][]byte{raw}
+	pkt.Release()
+	return r.passThrough(raw)
+}
+
+func (r *Relay) passThrough(raw []byte) [][]byte {
+	if len(r.emit) > 0 {
+		r.emit[0] = nil
+	}
+	r.emit = append(r.emit[:0], raw)
+	return r.emit
 }
 
 // accept bridges one wired-side connection to a fresh mobile-side

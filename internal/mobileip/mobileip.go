@@ -72,6 +72,7 @@ type HomeAgent struct {
 	node     *netsim.Node
 	bindings map[ip.Addr]binding
 	tunnelID uint16
+	emit     [][]byte // reusable hook return (netsim.Hook contract)
 
 	// Stats for the experiments.
 	Tunneled  int64
@@ -120,25 +121,35 @@ func (ha *HomeAgent) handleRegistration(h ip.Header, payload, raw []byte, in *ne
 func (ha *HomeAgent) intercept(raw []byte, in *netsim.Iface) [][]byte {
 	h, _, err := ip.Unmarshal(raw)
 	if err != nil {
-		return [][]byte{raw}
+		return ha.emitOne(raw)
 	}
 	b, ok := ha.bindings[h.Dst]
 	if !ok || ha.node.Clock().Now() > b.expires {
 		if _, registered := ha.bindings[h.Dst]; registered {
 			ha.NoBinding++
 		}
-		return [][]byte{raw}
+		return ha.emitOne(raw)
 	}
 	if h.Protocol == ip.ProtoIPIP {
-		return [][]byte{raw} // already tunneled
+		return ha.emitOne(raw) // already tunneled
 	}
 	ha.tunnelID++
 	enc, err := ip.Encapsulate(ha.node.Addr(), b.careOf, raw, ha.tunnelID)
 	if err != nil {
-		return [][]byte{raw}
+		return ha.emitOne(raw)
 	}
 	ha.Tunneled++
-	return [][]byte{enc}
+	return ha.emitOne(enc)
+}
+
+// emitOne returns pkt via the agent's reusable emit slice (see
+// netsim.Hook's ownership contract).
+func (ha *HomeAgent) emitOne(pkt []byte) [][]byte {
+	if len(ha.emit) > 0 {
+		ha.emit[0] = nil
+	}
+	ha.emit = append(ha.emit[:0], pkt)
+	return ha.emit
 }
 
 // ForeignAgent advertises care-of service on its wireless network,

@@ -235,6 +235,12 @@ type Route struct {
 // returns the datagrams that continue processing: return nil to drop,
 // the input to pass through, or any number of (possibly rewritten)
 // packets. The Comma service proxy installs itself as a Hook.
+//
+// Ownership: the returned slice is only valid until the hook's next
+// invocation — hooks may (and the proxy does) reuse one emit slice
+// for every packet, so the node consumes it synchronously and never
+// retains it. The datagram byte slices inside it follow the usual
+// rule: immutable once handed onward.
 type Hook func(raw []byte, in *Iface) [][]byte
 
 // Node is a host or router in the simulated network.
@@ -468,11 +474,14 @@ func (nd *Node) receive(raw []byte, in *Iface) {
 		nd.Stats.IPInHdrErrors++
 		return
 	}
-	packets := [][]byte{raw}
-	if nd.hook != nil {
-		packets = nd.hook(raw, in)
+	if nd.hook == nil {
+		nd.process(raw, in)
+		return
 	}
-	for _, p := range packets {
+	// The hook's emit slice is borrowed: consume it before returning
+	// (process never re-enters this node's hook synchronously — all
+	// onward transmission is scheduler-deferred).
+	for _, p := range nd.hook(raw, in) {
 		nd.process(p, in)
 	}
 }

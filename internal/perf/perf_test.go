@@ -1,0 +1,298 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/filters"
+	"repro/internal/ip"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + i/253)
+	}
+	return b
+}
+
+// mkTCP builds a raw wired→mobile TCP datagram (the E15 packet shape).
+func mkTCP(tb testing.TB, seq uint32, payload int) []byte {
+	tb.Helper()
+	seg := tcp.Segment{SrcPort: 7, DstPort: 5001, Seq: seq, Ack: 1,
+		Flags: tcp.FlagACK, Window: 65535, Payload: pattern(payload)}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: core.WiredAddr, Dst: core.MobileAddr}
+	raw, err := h.Marshal(seg.Marshal(core.WiredAddr, core.MobileAddr))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+func benchKey() string {
+	return fmt.Sprintf("%v 7 %v 5001", core.WiredAddr, core.MobileAddr)
+}
+
+// --- packet codec ------------------------------------------------------------
+
+// BenchmarkPacketParse is the pooled decode path: steady state is
+// allocation-free because Parse recycles Released packets.
+func BenchmarkPacketParse(b *testing.B) {
+	raw := mkTCP(b, 1, 1000)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt, err := filter.Parse(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkt.Release()
+	}
+}
+
+// BenchmarkPacketRemarshal is the modified-packet rebuild: the
+// transport layer marshals into pooled scratch, so the only allocation
+// is the fresh IP buffer that escapes to the network.
+func BenchmarkPacketRemarshal(b *testing.B) {
+	raw := mkTCP(b, 1, 1000)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt, err := filter.Parse(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkt.TCP.Window = 4096
+		pkt.MarkDirty()
+		if err := pkt.Remarshal(); err != nil {
+			b.Fatal(err)
+		}
+		pkt.Release()
+	}
+}
+
+// --- interception ------------------------------------------------------------
+
+// passThroughSetup builds a proxy whose registry holds one wild-card
+// registration that does NOT match the benchmark stream, so every
+// packet takes the negative-match-cache pass-through path.
+func passThroughSetup(tb testing.TB) (netsim.Hook, *netsim.Iface, []byte) {
+	tb.Helper()
+	sys := core.NewSystem(core.Config{Seed: 17})
+	sys.MustCommand("load rdrop")
+	sys.MustCommand(fmt.Sprintf("add rdrop %v 9999 %v 0 0", core.WiredAddr, core.MobileAddr))
+	return sys.ProxyHost.PacketHook(), sys.ProxyHost.Ifaces()[0], mkTCP(tb, 1, 1000)
+}
+
+// tcpFilterSetup builds a proxy with the tcp bookkeeping filter
+// attached to the benchmark stream's exact key: the packet traverses a
+// real filter queue but leaves clean (no remarshal).
+func tcpFilterSetup(tb testing.TB) (netsim.Hook, *netsim.Iface, []byte) {
+	tb.Helper()
+	sys := core.NewSystem(core.Config{Seed: 17})
+	sys.MustCommand("load tcp")
+	sys.MustCommand("add tcp " + benchKey())
+	return sys.ProxyHost.PacketHook(), sys.ProxyHost.Ifaces()[0], mkTCP(tb, 1, 1000)
+}
+
+// BenchmarkInterceptPassThrough is the steady-state cost of carrying
+// unserviced traffic: parse (pooled), negative-cache registry miss,
+// reuse of the emit list. Must run at 0 allocs/op — asserted by
+// TestInterceptPassThroughZeroAlloc.
+func BenchmarkInterceptPassThrough(b *testing.B) {
+	hook, in, raw := passThroughSetup(b)
+	hook(raw, in) // warm pool, emit list, and negative cache
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hook(raw, in)
+	}
+}
+
+// BenchmarkInterceptTCPFilter is the cheapest serviced path: a clean
+// traversal of the tcp bookkeeping filter's queue. Must run at
+// 0 allocs/op — asserted by TestInterceptTCPFilterZeroAlloc.
+func BenchmarkInterceptTCPFilter(b *testing.B) {
+	hook, in, raw := tcpFilterSetup(b)
+	hook(raw, in)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hook(raw, in)
+	}
+}
+
+// TestInterceptPassThroughZeroAlloc gates the pass-through invariant:
+// a regression that allocates on the unserviced hot path fails the
+// ordinary test run, not just a benchmark inspection.
+func TestInterceptPassThroughZeroAlloc(t *testing.T) {
+	hook, in, raw := passThroughSetup(t)
+	hook(raw, in)
+	if allocs := testing.AllocsPerRun(1000, func() { hook(raw, in) }); allocs != 0 {
+		t.Fatalf("pass-through intercept allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// TestInterceptTCPFilterZeroAlloc gates the clean filtered path.
+func TestInterceptTCPFilterZeroAlloc(t *testing.T) {
+	hook, in, raw := tcpFilterSetup(t)
+	hook(raw, in)
+	if allocs := testing.AllocsPerRun(1000, func() { hook(raw, in) }); allocs != 0 {
+		t.Fatalf("tcp-filtered intercept allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// TestPacketParseReleaseZeroAlloc gates the pooled codec on its own,
+// so a pool regression is attributed to Parse rather than the proxy.
+func TestPacketParseReleaseZeroAlloc(t *testing.T) {
+	raw := mkTCP(t, 1, 1000)
+	if pkt, err := filter.Parse(raw); err != nil {
+		t.Fatal(err)
+	} else {
+		pkt.Release()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		pkt, err := filter.Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt.Release()
+	}); allocs != 0 {
+		t.Fatalf("Parse+Release allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// BenchmarkInterceptQueueDepth stacks 0..8 no-op rdrop filters on top
+// of the tcp filter: the marginal cost of queue traversal per filter
+// (the E15 curve, with allocations reported).
+func BenchmarkInterceptQueueDepth(b *testing.B) {
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Seed: 17})
+			sys.MustCommand("load tcp")
+			sys.MustCommand("add tcp " + benchKey())
+			if depth > 0 {
+				sys.MustCommand("load rdrop")
+				for i := 0; i < depth; i++ {
+					sys.MustCommand(fmt.Sprintf("add rdrop %s 0", benchKey()))
+				}
+			}
+			hook := sys.ProxyHost.PacketHook()
+			in := sys.ProxyHost.Ifaces()[0]
+			raw := mkTCP(b, 1, 1000)
+			hook(raw, in)
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hook(raw, in)
+			}
+		})
+	}
+}
+
+// --- registry matching -------------------------------------------------------
+
+// BenchmarkRegistryMatch measures stream-registry lookup for a packet
+// no registration matches, at increasing registry sizes. "first-sight"
+// is the linear scan a stream pays once (forced here by flushing the
+// cache); "cached" is every subsequent packet.
+func BenchmarkRegistryMatch(b *testing.B) {
+	for _, regs := range []int{1, 100, 10000} {
+		sys := core.NewSystem(core.Config{Seed: 17})
+		sys.MustCommand("load rdrop")
+		for i := 0; i < regs; i++ {
+			// Wild destination port, source port never equal to the
+			// probe's: registered but never matching, never instantiated.
+			k := filter.Key{SrcIP: core.WiredAddr, SrcPort: uint16(10000 + i%50000),
+				DstIP: core.MobileAddr}
+			if err := sys.Proxy.AddFilter("rdrop", k, []string{"0"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hook := sys.ProxyHost.PacketHook()
+		in := sys.ProxyHost.Ifaces()[0]
+		raw := mkTCP(b, 1, 1000)
+		b.Run(fmt.Sprintf("regs-%d/first-sight", regs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys.Proxy.FlushMatchCache()
+				hook(raw, in)
+			}
+		})
+		b.Run(fmt.Sprintf("regs-%d/cached", regs), func(b *testing.B) {
+			hook(raw, in)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hook(raw, in)
+			}
+		})
+	}
+}
+
+// --- TTSF edit map -----------------------------------------------------------
+
+// chopHalf is a minimal TTSF service for benchmarking: it truncates
+// every data payload to half, forcing the TTSF to record one edit per
+// segment.
+type chopHalf struct{}
+
+func (chopHalf) Name() string              { return "chop" }
+func (chopHalf) Priority() filter.Priority { return filter.Low }
+func (chopHalf) Description() string       { return "truncate payloads to half (bench helper)" }
+func (chopHalf) New(env filter.Env, k filter.Key, args []string) error {
+	_, err := env.Attach(k, filter.Hooks{
+		Filter: "chop", Priority: filter.Low,
+		Out: func(p *filter.Packet) {
+			if p.TCP != nil && len(p.TCP.Payload) > 1 {
+				p.TCP.Payload = p.TCP.Payload[:len(p.TCP.Payload)/2]
+				p.MarkDirty()
+			}
+		},
+	})
+	return err
+}
+
+// BenchmarkTTSFEditMap measures sequence-space remapping against a
+// growing edit log: a pure ACK at the frontier walks every live edit
+// in mapOrig. No reverse traffic flows, so nothing is pruned and the
+// log size stays fixed at the sub-benchmark's edit count.
+func BenchmarkTTSFEditMap(b *testing.B) {
+	for _, edits := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("edits-%d", edits), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Seed: 17})
+			sys.Catalog.Register("chop", func() filter.Factory { return chopHalf{} })
+			sys.MustCommand("load tcp")
+			sys.MustCommand("load ttsf")
+			sys.MustCommand("load chop")
+			sys.MustCommand("add tcp " + benchKey())
+			sys.MustCommand("add ttsf " + benchKey())
+			sys.MustCommand("add chop " + benchKey())
+			hook := sys.ProxyHost.PacketHook()
+			in := sys.ProxyHost.Ifaces()[0]
+			seq := uint32(1000)
+			for i := 0; i < edits; i++ {
+				hook(mkTCP(b, seq, 100), in)
+				seq += 100
+			}
+			k := filter.Key{SrcIP: core.WiredAddr, SrcPort: 7,
+				DstIP: core.MobileAddr, DstPort: 5001}
+			if st, ok := filters.TTSFStatsFor(k); !ok || st.Edits != int64(edits) {
+				b.Fatalf("edit log has %d edits, want %d", st.Edits, edits)
+			}
+			ack := mkTCP(b, seq, 0) // pure ACK at the frontier
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hook(ack, in)
+			}
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package proxy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/ip"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// nopFactory registers without attaching any hooks, so the property
+// test can churn the registry without building filter queues.
+type nopFactory struct{ name string }
+
+func (f nopFactory) Name() string                             { return f.name }
+func (nopFactory) Priority() filter.Priority                  { return filter.Normal }
+func (nopFactory) Description() string                        { return "registry churn stub" }
+func (nopFactory) New(filter.Env, filter.Key, []string) error { return nil }
+
+func newMatchProxy(t *testing.T) *Proxy {
+	t.Helper()
+	cat := filter.NewCatalog()
+	cat.Register("nop", func() filter.Factory { return nopFactory{name: "nop"} })
+	node := netsim.New(sim.NewScheduler(1)).AddNode("proxy")
+	p := New(node, cat)
+	if _, err := p.LoadFilter("nop"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCachedMatchAgreesWithReference is the negative-cache property
+// test: across random interleavings of add/delete on random exact and
+// wild-card keys, cachedMatch must agree with the naive registry scan
+// on every lookup — including repeat lookups served from the cache,
+// and lookups after deletions (which deliberately do not invalidate:
+// removals can only shrink the match set).
+func TestCachedMatchAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// A small universe so adds, deletes, and lookups collide often.
+	addrs := []ip.Addr{0, ip.MustParseAddr("10.0.0.1"), ip.MustParseAddr("10.0.0.2")}
+	ports := []uint16{0, 7, 9}
+	randKey := func(exact bool) filter.Key {
+		k := filter.Key{
+			SrcIP: addrs[rng.Intn(len(addrs))], SrcPort: ports[rng.Intn(len(ports))],
+			DstIP: addrs[rng.Intn(len(addrs))], DstPort: ports[rng.Intn(len(ports))],
+		}
+		if exact {
+			// Lookup keys are real stream keys: no wild-card fields.
+			k.SrcIP, k.DstIP = addrs[1+rng.Intn(len(addrs)-1)], addrs[1+rng.Intn(len(addrs)-1)]
+			k.SrcPort, k.DstPort = ports[1+rng.Intn(len(ports)-1)], ports[1+rng.Intn(len(ports)-1)]
+		}
+		return k
+	}
+
+	p := newMatchProxy(t)
+	var registered []filter.Key
+	for i := 0; i < 5000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 2: // add a (often wild-card) registration
+			k := randKey(false)
+			if err := p.AddFilter("nop", k, nil); err != nil {
+				t.Fatal(err)
+			}
+			registered = append(registered, k)
+		case op < 3 && len(registered) > 0: // delete a random registration
+			j := rng.Intn(len(registered))
+			if err := p.DeleteFilter("nop", registered[j]); err != nil {
+				t.Fatal(err)
+			}
+			// DeleteFilter removes every registration with that exact
+			// (name, key) pair; mirror that in the shadow list.
+			k := registered[j]
+			kept := registered[:0]
+			for _, r := range registered {
+				if r != k {
+					kept = append(kept, r)
+				}
+			}
+			registered = kept
+		default: // lookup: cached and reference matchers must agree
+			k := randKey(true)
+			want := p.matchesRegistry(k)
+			if got := p.cachedMatch(k); got != want {
+				t.Fatalf("op %d: cachedMatch(%v) = %v, reference = %v (registry %d entries, cache %d)",
+					i, k, got, want, len(p.registry), len(p.negCache))
+			}
+			// Immediate repeat: the cache-resident answer must agree too.
+			if got := p.cachedMatch(k); got != want {
+				t.Fatalf("op %d: cache-hit lookup of %v = %v, reference = %v", i, k, got, want)
+			}
+		}
+	}
+}
+
+// TestNegCacheMassEviction drives the cache past its bound: the
+// overflow reset must keep lookups correct and the cache size bounded.
+func TestNegCacheMassEviction(t *testing.T) {
+	p := newMatchProxy(t)
+	if err := p.AddFilter("nop", filter.Key{SrcPort: 9999}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < negCacheMax+64; i++ {
+		k := filter.Key{
+			SrcIP: ip.AddrFrom4(10, byte(i>>16), byte(i>>8), byte(i)), SrcPort: 7,
+			DstIP: ip.AddrFrom4(10, 0, 0, 1), DstPort: 80,
+		}
+		if p.cachedMatch(k) {
+			t.Fatalf("key %v matched a srcport-9999 registration", k)
+		}
+		if len(p.negCache) > negCacheMax {
+			t.Fatalf("cache grew past bound: %d entries", len(p.negCache))
+		}
+	}
+	// A key matching the registration must still be found post-eviction.
+	if !p.cachedMatch(filter.Key{SrcIP: addr1(), SrcPort: 9999, DstIP: addr1(), DstPort: 80}) {
+		t.Fatal("matching key reported unmatched after mass eviction")
+	}
+}
+
+func addr1() ip.Addr { return ip.MustParseAddr("10.0.0.1") }
+
+// TestAddInvalidatesNegativeCache pins the invalidation rule: a key
+// cached as unmatched must be re-scanned once a new registration that
+// matches it appears.
+func TestAddInvalidatesNegativeCache(t *testing.T) {
+	p := newMatchProxy(t)
+	k := filter.Key{SrcIP: addr1(), SrcPort: 7, DstIP: addr1(), DstPort: 80}
+	if p.cachedMatch(k) {
+		t.Fatal("empty registry matched")
+	}
+	if err := p.AddFilter("nop", filter.Key{DstPort: 80}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !p.cachedMatch(k) {
+		t.Fatal("stale negative cache entry survived AddFilter")
+	}
+}

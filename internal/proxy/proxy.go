@@ -64,6 +64,17 @@ type Proxy struct {
 	queues   map[filter.Key]*queue
 	seq      int
 
+	// negCache remembers exact keys no registration matches, so
+	// steady-state streams without services pay one registry scan ever
+	// instead of one per packet. Invalidated whenever a registration
+	// is added; bounded by negCacheMax.
+	negCache map[filter.Key]struct{}
+
+	// emit is the reusable return slice of intercept: the node
+	// consumes it before the next interception, so the hot path never
+	// allocates a fresh [][]byte per packet.
+	emit [][]byte
+
 	// Log, when non-nil, receives diagnostic lines from filters and
 	// the proxy itself.
 	Log func(string)
@@ -209,19 +220,31 @@ func (p *Proxy) Spawn(name string, k filter.Key, args []string) error {
 // --- interception path -------------------------------------------------------
 
 // intercept is the node packet hook: parse, match, build queues on
-// demand, run the in and out queues, and reinject.
+// demand, run the in and out queues, and reinject. The steady-state
+// pass-through path (no matching service, or a clean traversal of the
+// tcp filter) is allocation-free: the parsed view comes from the
+// packet pool and is Released before returning, and the returned
+// slice is the proxy's reusable emit list, valid until the next
+// interception.
 func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 	p.Stats.Intercepted++
+	for i := range p.emit {
+		p.emit[i] = nil // drop references from the previous packet
+	}
+	p.emit = p.emit[:0]
 	pkt, err := filter.Parse(raw)
 	if err != nil {
-		return [][]byte{raw} // unparseable: pass through untouched
+		p.emit = append(p.emit, raw) // unparseable: pass through untouched
+		return p.emit
 	}
 	q := p.queues[pkt.Key]
 	if q == nil {
 		q = p.buildQueue(pkt.Key)
 	}
 	if q == nil || len(q.attached) == 0 {
-		return [][]byte{raw}
+		pkt.Release()
+		p.emit = append(p.emit, raw)
+		return p.emit
 	}
 	p.Stats.Filtered++
 	q.pkts++
@@ -242,7 +265,6 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 		}
 	}
 
-	var out [][]byte
 	if pkt.Dropped() {
 		p.Stats.DroppedByFilter++
 	} else {
@@ -255,14 +277,65 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 			}
 		}
 		p.Stats.Reinjected++
-		out = append(out, pkt.Raw)
+		p.emit = append(p.emit, pkt.Raw)
 	}
 	for _, extra := range pkt.Injections() {
 		p.Stats.Injected++
-		out = append(out, extra)
+		p.emit = append(p.emit, extra)
 	}
-	return out
+	pkt.Release()
+	return p.emit
 }
+
+// negCacheMax bounds the negative-match cache; on overflow the whole
+// cache is dropped (a rare mass eviction is simpler and cheaper than
+// per-entry accounting, and correctness never depends on residency).
+const negCacheMax = 1 << 16
+
+// matchesRegistry is the naive reference matcher: scan every
+// registration for a (wild-card) key matching exact key k. The cached
+// matcher must agree with this on every lookup (see the property test).
+func (p *Proxy) matchesRegistry(k filter.Key) bool {
+	for _, r := range p.registry {
+		if r.key.Matches(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// cachedMatch is matchesRegistry behind the negative-result cache:
+// keys once found unmatched skip the registry scan until a new
+// registration invalidates the cache.
+func (p *Proxy) cachedMatch(k filter.Key) bool {
+	if _, neg := p.negCache[k]; neg {
+		return false
+	}
+	if p.matchesRegistry(k) {
+		return true
+	}
+	if p.negCache == nil || len(p.negCache) >= negCacheMax {
+		p.negCache = make(map[filter.Key]struct{})
+	}
+	p.negCache[k] = struct{}{}
+	return false
+}
+
+// invalidateMatchCache drops the negative cache; call after any
+// change that can turn a non-match into a match (adding a
+// registration). Removals never do, so delete paths keep the cache.
+func (p *Proxy) invalidateMatchCache() {
+	if len(p.negCache) > 0 {
+		p.negCache = nil
+	}
+}
+
+// FlushMatchCache publicly drops the negative-match cache. Steady
+// state never needs this — registration changes invalidate
+// automatically — but benchmarks use it to measure the first-sight
+// registry scan, and operators can force a re-scan after poking proxy
+// internals in tests.
+func (p *Proxy) FlushMatchCache() { p.negCache = nil }
 
 // buildQueue instantiates every registered filter whose wild-card key
 // matches the new exact key (thesis: "a filter queue is built by
@@ -270,17 +343,15 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 // registry whose associated wild-card key matches the packet key").
 // Returns nil when no registration matches.
 func (p *Proxy) buildQueue(k filter.Key) *queue {
-	matched := false
+	if !p.cachedMatch(k) {
+		return nil
+	}
 	for _, r := range p.registry {
 		if r.key.Matches(k) {
-			matched = true
 			if err := r.factory.New(p, k, r.args); err != nil {
 				p.Logf("proxy: %s insertion on %v failed: %v", r.factory.Name(), k, err)
 			}
 		}
-	}
-	if !matched {
-		return nil
 	}
 	return p.queues[k] // filters attached via Env.Attach
 }
@@ -335,6 +406,9 @@ func (p *Proxy) AddFilter(name string, k filter.Key, args []string) error {
 		}
 	}
 	p.registry = append(p.registry, &registration{key: k, factory: f, args: args})
+	// A new registration can turn cached negative matches stale;
+	// removals (delete/remove) never can, so only adds invalidate.
+	p.invalidateMatchCache()
 	if !k.IsWild() {
 		return f.New(p, k, args)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -40,6 +41,45 @@ func TestRealtimeDoSync(t *testing.T) {
 	var now Time
 	rt.DoSync(func() { now = s.Now() })
 	_ = now
+}
+
+// TestRealtimeConcurrentClients hammers the driver from many
+// goroutines at once — mixed Do/DoSync submissions racing timer
+// firings and a concurrent Stop. All scheduler access funnels through
+// the simulation goroutine, so `go test -race` must stay silent.
+func TestRealtimeConcurrentClients(t *testing.T) {
+	s := NewScheduler(1)
+	rt := NewRealtime(s)
+	var timerFired atomic.Int64
+	s.After(time.Millisecond, func() { timerFired.Add(1) })
+	go rt.Run(time.Millisecond)
+
+	const clients = 8
+	var submitted atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if i%2 == 0 {
+					rt.DoSync(func() {
+						submitted.Add(1)
+						s.After(time.Duration(i)*time.Microsecond, func() { timerFired.Add(1) })
+					})
+				} else {
+					rt.Do(func() { submitted.Add(1) })
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Quiesce, then stop racing against a straggling ticker step.
+	rt.DoSync(func() {})
+	rt.Stop()
+	if n := submitted.Load(); n != clients*50 {
+		t.Fatalf("executed %d of %d submitted closures", n, clients*50)
+	}
 }
 
 func TestRealtimeStopUnblocks(t *testing.T) {

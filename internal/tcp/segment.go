@@ -84,12 +84,22 @@ func (s *Segment) SeqLen() uint32 {
 // Marshal encodes the segment, computing the transport checksum over
 // the IPv4 pseudo-header for src→dst.
 func (s *Segment) Marshal(src, dst ip.Addr) []byte {
+	return s.AppendMarshal(nil, src, dst)
+}
+
+// AppendMarshal appends the encoded segment to dst0, growing it as
+// needed, and returns the extended slice. It lets hot paths reuse a
+// scratch buffer instead of allocating per segment; the appended
+// region must not already alias s.Payload.
+func (s *Segment) AppendMarshal(dst0 []byte, src, dst ip.Addr) []byte {
 	optLen := 0
 	if s.MSS != 0 {
 		optLen = 4
 	}
 	hl := HeaderLen + optLen
-	b := make([]byte, hl+len(s.Payload))
+	off := len(dst0)
+	dst0 = growSlice(dst0, hl+len(s.Payload))
+	b := dst0[off:]
 	binary.BigEndian.PutUint16(b[0:], s.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], s.DstPort)
 	binary.BigEndian.PutUint32(b[4:], s.Seq)
@@ -97,6 +107,7 @@ func (s *Segment) Marshal(src, dst ip.Addr) []byte {
 	b[12] = byte(hl/4) << 4
 	b[13] = s.Flags
 	binary.BigEndian.PutUint16(b[14:], s.Window)
+	b[16], b[17] = 0, 0 // checksum field must be zero while summing
 	binary.BigEndian.PutUint16(b[18:], s.Urgent)
 	if s.MSS != 0 {
 		b[20] = 2 // kind: MSS
@@ -106,7 +117,18 @@ func (s *Segment) Marshal(src, dst ip.Addr) []byte {
 	copy(b[hl:], s.Payload)
 	s.Checksum = ip.PseudoHeaderChecksum(src, dst, ip.ProtoTCP, b)
 	binary.BigEndian.PutUint16(b[16:], s.Checksum)
-	return b
+	return dst0
+}
+
+// growSlice extends b by n bytes, reallocating only when capacity
+// runs out (the reused-buffer steady state never does).
+func growSlice(b []byte, n int) []byte {
+	if cap(b)-len(b) < n {
+		nb := make([]byte, len(b), len(b)+n)
+		copy(nb, b)
+		b = nb
+	}
+	return b[:len(b)+n]
 }
 
 // Errors returned by Unmarshal and VerifyChecksum.

@@ -25,17 +25,34 @@ type Datagram struct {
 
 // Marshal encodes the datagram with a pseudo-header checksum.
 func (d *Datagram) Marshal(src, dst ip.Addr) []byte {
-	b := make([]byte, HeaderLen+len(d.Payload))
+	return d.AppendMarshal(nil, src, dst)
+}
+
+// AppendMarshal appends the encoded datagram to dst0, growing it as
+// needed, and returns the extended slice. It lets hot paths reuse a
+// scratch buffer instead of allocating per datagram; the appended
+// region must not already alias d.Payload.
+func (d *Datagram) AppendMarshal(dst0 []byte, src, dst ip.Addr) []byte {
+	off := len(dst0)
+	n := HeaderLen + len(d.Payload)
+	if cap(dst0)-off < n {
+		nb := make([]byte, off, off+n)
+		copy(nb, dst0)
+		dst0 = nb
+	}
+	dst0 = dst0[:off+n]
+	b := dst0[off:]
 	binary.BigEndian.PutUint16(b[0:], d.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], d.DstPort)
-	binary.BigEndian.PutUint16(b[4:], uint16(len(b)))
+	binary.BigEndian.PutUint16(b[4:], uint16(n))
+	b[6], b[7] = 0, 0 // checksum field must be zero while summing
 	copy(b[HeaderLen:], d.Payload)
 	d.Checksum = ip.PseudoHeaderChecksum(src, dst, ip.ProtoUDP, b)
 	if d.Checksum == 0 {
 		d.Checksum = 0xffff // RFC 768: zero means "no checksum"
 	}
 	binary.BigEndian.PutUint16(b[6:], d.Checksum)
-	return b
+	return dst0
 }
 
 // ErrTruncated reports a buffer too short to be a UDP datagram.
