@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench verify
+.PHONY: build test race vet fmt-check fuzz bench obs-determinism verify
 
 build:
 	$(GO) build ./...
@@ -35,5 +35,14 @@ fuzz:
 bench:
 	./bench.sh
 
-verify: build test vet fmt-check
+# Two separate processes run the observability demo with the same seed;
+# their full event logs and metrics snapshots must be byte-identical.
+# (TestObsDeterminism covers the in-process variant; this catches
+# process-level leaks like map-iteration or address ordering.)
+obs-determinism:
+	@$(GO) run ./cmd/wsim -events -seed 7 > /tmp/obs-run1.txt
+	@$(GO) run ./cmd/wsim -events -seed 7 > /tmp/obs-run2.txt
+	@cmp /tmp/obs-run1.txt /tmp/obs-run2.txt && echo "obs-determinism: OK"
+
+verify: build test vet fmt-check obs-determinism
 	@echo "verify: OK"

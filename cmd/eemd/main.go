@@ -9,13 +9,17 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,11 +35,16 @@ func (n netConn) Close()               { n.c.Close() }
 func main() {
 	listen := flag.String("listen", ":12001", "address for the EEM protocol")
 	interval := flag.Duration("interval", 10*time.Second, "periodic update interval")
+	debug := flag.String("debug", "", "address for expvar/pprof debug HTTP (e.g. localhost:6061); empty disables")
 	flag.Parse()
 
 	sys := core.NewSystem(core.Config{Seed: time.Now().UnixNano(), EEMInterval: *interval})
 	rt := sim.NewRealtime(sys.Sched)
 	go rt.Run(5 * time.Millisecond)
+
+	if *debug != "" {
+		serveDebug(*debug, rt, sys.Metrics)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -50,6 +59,26 @@ func main() {
 		}
 		go serve(conn, rt, sys.EEM)
 	}
+}
+
+// serveDebug exposes the unified metrics snapshot through expvar
+// (under "comma") plus the stock pprof handlers on a debug HTTP port.
+func serveDebug(addr string, rt *sim.Realtime, metrics *obs.Registry) {
+	expvar.Publish("comma", expvar.Func(func() any {
+		var snap []obs.Sample
+		rt.DoSync(func() { snap = metrics.Snapshot() })
+		out := make(map[string]string, len(snap))
+		for _, s := range snap {
+			out[s.Name] = s.Value
+		}
+		return out
+	}))
+	go func() {
+		log.Printf("eemd: debug HTTP (expvar, pprof) on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("eemd: debug HTTP: %v", err)
+		}
+	}()
 }
 
 func serve(conn net.Conn, rt *sim.Realtime, srv *eem.Server) {

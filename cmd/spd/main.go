@@ -12,14 +12,18 @@ package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 )
@@ -28,6 +32,7 @@ func main() {
 	listen := flag.String("listen", ":12000", "address for the SP control interface")
 	loss := flag.Float64("loss", 0.0, "wireless packet loss probability")
 	bw := flag.Int64("bw", 2e6, "wireless bandwidth, bits/s")
+	debug := flag.String("debug", "", "address for expvar/pprof debug HTTP (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	sys := core.NewSystem(core.Config{
@@ -66,6 +71,10 @@ func main() {
 	})
 	go rt.Run(5 * time.Millisecond)
 
+	if *debug != "" {
+		serveDebug(*debug, rt, sys.Metrics)
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("spd: %v", err)
@@ -78,6 +87,28 @@ func main() {
 		}
 		go serve(conn, rt, sys)
 	}
+}
+
+// serveDebug exposes the unified metrics snapshot through expvar
+// (under "comma") plus the stock pprof handlers on a debug HTTP port.
+// Simulation state is only touched inside DoSync, so scrapes are safe
+// against the realtime driver.
+func serveDebug(addr string, rt *sim.Realtime, metrics *obs.Registry) {
+	expvar.Publish("comma", expvar.Func(func() any {
+		var snap []obs.Sample
+		rt.DoSync(func() { snap = metrics.Snapshot() })
+		out := make(map[string]string, len(snap))
+		for _, s := range snap {
+			out[s.Name] = s.Value
+		}
+		return out
+	}))
+	go func() {
+		log.Printf("spd: debug HTTP (expvar, pprof) on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("spd: debug HTTP: %v", err)
+		}
+	}()
 }
 
 func serve(conn net.Conn, rt *sim.Realtime, sys *core.System) {

@@ -7,6 +7,8 @@
 //	wsim -list             list experiments
 //	wsim -exp E7           run one experiment
 //	wsim -all              run every experiment in order
+//	wsim -events           run the observability demo (full event log
+//	                       + metrics snapshot; byte-identical per seed)
 package main
 
 import (
@@ -21,6 +23,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	exp := flag.String("exp", "", "run one experiment by id (e.g. E7)")
 	all := flag.Bool("all", false, "run every experiment")
+	events := flag.Bool("events", false, "run the observability demo scenario")
+	seed := flag.Int64("seed", 7, "simulation seed for -events")
 	flag.Parse()
 
 	switch {
@@ -35,6 +39,11 @@ func main() {
 		}
 	case *all:
 		experiments.RunAll(os.Stdout)
+	case *events:
+		if err := experiments.ObsDemo(*seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

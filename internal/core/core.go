@@ -26,6 +26,7 @@ import (
 	"repro/internal/filters"
 	"repro/internal/ip"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -51,6 +52,9 @@ type Config struct {
 	EEMInterval time.Duration
 	// WithUser adds a Kati workstation node wired to the proxy.
 	WithUser bool
+	// ObsRetention bounds the observability event ring
+	// (obs.DefaultRetention when 0).
+	ObsRetention int
 }
 
 // System is a running Comma deployment.
@@ -73,6 +77,11 @@ type System struct {
 
 	Wireless *netsim.Link
 	Catalog  *filter.Catalog
+
+	// Obs is the deployment-wide event bus; Metrics the unified
+	// counter/gauge registry (rendered by the SP "stats" command).
+	Obs     *obs.Bus
+	Metrics *obs.Registry
 }
 
 // NewSystem builds and starts a Comma deployment.
@@ -100,6 +109,11 @@ func NewSystem(cfg Config) *System {
 	n := netsim.New(s)
 	sys := &System{Sched: s, Net: n}
 
+	// Observability: one bus and one registry for the whole deployment.
+	sys.Obs = obs.NewBus(s, cfg.ObsRetention)
+	sys.Metrics = obs.NewRegistry()
+	n.SetObs(sys.Obs)
+
 	sys.Wired = n.AddNode("wired")
 	sys.ProxyHost = n.AddNode("proxy")
 	sys.ProxyHost.Forwarding = true
@@ -107,10 +121,13 @@ func NewSystem(cfg Config) *System {
 
 	lw := n.Connect(sys.Wired, WiredAddr, sys.ProxyHost, ProxyCtrlAddr, cfg.Wire)
 	sys.Wired.AddDefaultRoute(lw.IfaceA())
+	lw.RegisterMetrics(sys.Metrics, "link.wire")
 
 	sys.Catalog = filter.NewCatalog()
 	filters.RegisterAll(sys.Catalog)
 	sys.Proxy = proxy.New(sys.ProxyHost, sys.Catalog)
+	sys.Proxy.SetObs(sys.Obs, sys.Metrics)
+	sys.Proxy.RegisterMetrics(sys.Metrics, "proxy")
 
 	if cfg.DoubleProxy {
 		sys.ProxyHostB = n.AddNode("proxyB")
@@ -126,12 +143,16 @@ func NewSystem(cfg Config) *System {
 		catB := filter.NewCatalog()
 		filters.RegisterAll(catB)
 		sys.ProxyB = proxy.New(sys.ProxyHostB, catB)
+		sys.ProxyB.SetObs(sys.Obs, sys.Metrics)
+		sys.ProxyB.RegisterMetrics(sys.Metrics, "proxyB")
 	} else {
 		wless := n.Connect(sys.ProxyHost, ip.MustParseAddr("11.11.11.1"), sys.Mobile, MobileAddr, cfg.Wireless)
 		sys.Wireless = wless
 		sys.ProxyHost.AddRoute(MobileAddr.Mask(32), 32, wless.IfaceA())
 		sys.Mobile.AddDefaultRoute(wless.IfaceB())
 	}
+
+	sys.Wireless.RegisterMetrics(sys.Metrics, "link.wireless")
 
 	// Data-plane stacks.
 	sys.WiredTCP = tcp.NewStack(sys.Wired, cfg.TCP)
@@ -140,6 +161,11 @@ func NewSystem(cfg Config) *System {
 	sys.MobileUDP = udp.NewStack(sys.Mobile)
 	registerStacks(sys.Wired, sys.WiredTCP, sys.WiredUDP)
 	registerStacks(sys.Mobile, sys.MobileTCP, sys.MobileUDP)
+	sys.WiredTCP.RegisterMetrics(sys.Metrics, "tcp.wired")
+	sys.MobileTCP.RegisterMetrics(sys.Metrics, "tcp.mobile")
+	sys.Wired.RegisterMetrics(sys.Metrics, "node.wired")
+	sys.ProxyHost.RegisterMetrics(sys.Metrics, "node.proxy")
+	sys.Mobile.RegisterMetrics(sys.Metrics, "node.mobile")
 
 	// Control plane on the proxy host: SP command port and EEM server.
 	ctrl := tcp.NewStack(sys.ProxyHost, cfg.TCP)
@@ -149,8 +175,11 @@ func NewSystem(cfg Config) *System {
 	if err := proxy.ServeControl(ctrl, proxy.ControlPort, sys.Proxy); err != nil {
 		panic(fmt.Sprintf("core: control port: %v", err))
 	}
+	ctrl.RegisterMetrics(sys.Metrics, "tcp.proxyctrl")
 	sys.EEM = eem.NewServer("proxy")
 	sys.EEM.Interval = cfg.EEMInterval
+	sys.EEM.SetObs(sys.Obs)
+	sys.EEM.RegisterMetrics(sys.Metrics, "eem")
 	nodeSrc := &eem.NodeSource{Node: sys.ProxyHost, TCP: ctrl}
 	sys.EEM.AddSource(nodeSrc)
 	// Adaptive filters query the same variables through their Env
@@ -180,6 +209,7 @@ func NewSystem(cfg Config) *System {
 		sys.ProxyHost.AddRoute(UserAddr.Mask(24), 24, lu.IfaceB())
 		sys.UserTCP = tcp.NewStack(sys.User, cfg.TCP)
 		registerStacks(sys.User, sys.UserTCP, nil)
+		sys.UserTCP.RegisterMetrics(sys.Metrics, "tcp.user")
 	}
 	return sys
 }

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultUpdateInterval is the periodic check/update interval; the
@@ -17,16 +20,23 @@ type registrationState struct {
 	id   ID
 	attr Attr
 	// wasInRange implements edge-triggered interrupt notification: the
-	// callback fires when the variable *changes into* the region.
+	// callback fires when the variable *changes into* the region. An
+	// evaluation that errors (unknown source state, type mismatch)
+	// counts as out-of-range, so a variable that errors transiently,
+	// leaves the region, and re-enters still re-fires its interrupt.
 	wasInRange bool
 }
 
 // session is one connected client.
 type session struct {
+	id   int64 // stable per-server session number, for observability
 	conn Conn
 	lb   lineBuffer
 	regs []*registrationState
 }
+
+// key renders the session's observability key ("s1", "s2", ...).
+func (s *session) key() string { return "s" + strconv.FormatInt(s.id, 10) }
 
 // Server is an EEM server: it owns a set of variable sources and
 // serves registrations from any number of clients (thesis §6.2).
@@ -34,7 +44,15 @@ type Server struct {
 	name     string
 	sources  []Source
 	varIndex map[string]Source
-	sessions map[*session]bool
+	// sessions is kept in insertion (accept) order. Tick iterates it
+	// directly: the wire-message order across clients under one seed
+	// must be reproducible, which a map range would randomize.
+	sessions []*session
+	nextSess int64
+
+	// obs, when non-nil, receives structured events for session
+	// lifecycle and every notify/update/poll served.
+	obs *obs.Bus
 
 	// Interval is the periodic check period (default 10s).
 	Interval time.Duration
@@ -51,9 +69,22 @@ func NewServer(name string) *Server {
 	return &Server{
 		name:     name,
 		varIndex: make(map[string]Source),
-		sessions: make(map[*session]bool),
 		Interval: DefaultUpdateInterval,
 	}
+}
+
+// SetObs attaches the observability bus. Events are emitted under the
+// "eem" subsystem, keyed by session ("s1", "s2", ... in accept order).
+func (s *Server) SetObs(b *obs.Bus) { s.obs = b }
+
+// RegisterMetrics exposes the server's counters in a metrics registry
+// under prefix (e.g. "eem" -> "eem.notifies_sent").
+func (s *Server) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".registrations", func() int64 { return s.Registrations })
+	r.Counter(prefix+".updates_sent", func() int64 { return s.UpdatesSent })
+	r.Counter(prefix+".notifies_sent", func() int64 { return s.NotifiesSent })
+	r.Counter(prefix+".polls_served", func() int64 { return s.PollsServed })
+	r.Gauge(prefix+".sessions", func() float64 { return float64(len(s.sessions)) })
 }
 
 // AddSource registers a variable source. Later sources win name
@@ -88,12 +119,20 @@ func (s *Server) get(id ID) (Value, error) {
 // Accept attaches a client connection. Feed inbound bytes through the
 // returned function (wire it to the stream's data callback).
 func (s *Server) Accept(conn Conn) (onData func([]byte), onClose func()) {
-	sess := &session{conn: conn}
-	s.sessions[sess] = true
+	s.nextSess++
+	sess := &session{id: s.nextSess, conn: conn}
+	s.sessions = append(s.sessions, sess)
+	s.obs.Emit("eem", "session-open", sess.key())
 	return func(data []byte) {
 			sess.lb.feed(data, func(line []byte) { s.handleLine(sess, line) })
 		}, func() {
-			delete(s.sessions, sess)
+			for i, other := range s.sessions {
+				if other == sess {
+					s.sessions = append(s.sessions[:i], s.sessions[i+1:]...)
+					s.obs.Emit("eem", "session-close", sess.key())
+					return
+				}
+			}
 		}
 }
 
@@ -111,6 +150,8 @@ func (s *Server) handleLine(sess *session, line []byte) {
 		}
 		s.Registrations++
 		sess.regs = append(sess.regs, &registrationState{id: m.ID, attr: m.A})
+		s.obs.Emit("eem", "register", sess.key(),
+			obs.F("var", m.ID.Var), obs.F("index", m.ID.Index), obs.F("op", m.A.Op))
 	case msgDeregister:
 		kept := sess.regs[:0]
 		for _, r := range sess.regs {
@@ -119,8 +160,10 @@ func (s *Server) handleLine(sess *session, line []byte) {
 			}
 		}
 		sess.regs = kept
+		s.obs.Emit("eem", "deregister", sess.key(), obs.F("var", m.ID.Var))
 	case msgDeregisterAll:
 		sess.regs = nil
+		s.obs.Emit("eem", "deregister-all", sess.key())
 	case msgPoll:
 		s.PollsServed++
 		v, err := s.get(m.ID)
@@ -128,6 +171,7 @@ func (s *Server) handleLine(sess *session, line []byte) {
 		if err != nil {
 			reply.Err = err.Error()
 		}
+		s.obs.Emit("eem", "poll", sess.key(), obs.F("var", m.ID.Var))
 		sess.conn.Write(encodeMsg(reply))
 	case msgListVars:
 		sess.conn.Write(encodeMsg(wireMsg{Kind: msgVarList, Seq: m.Seq, Names: s.Variables()}))
@@ -143,20 +187,30 @@ func (s *Server) handleLine(sess *session, line []byte) {
 // their requested range is sent... once all variables have been
 // checked"). The owner drives Tick from a simulator timer or a real
 // ticker.
+//
+// Sessions are visited in accept order so the wire-message order
+// across clients is identical run-to-run under one seed — part of the
+// sim package's reproducibility promise.
 func (s *Server) Tick() {
-	for sess := range s.sessions {
+	for _, sess := range s.sessions {
 		var batch []varUpdate
 		for _, r := range sess.regs {
+			in := false
 			v, err := s.get(r.id)
-			if err != nil {
-				continue
+			if err == nil {
+				in, err = r.attr.Matches(v)
 			}
-			in, err := r.attr.Matches(v)
 			if err != nil {
+				// An evaluation that errors is out-of-range: leaving
+				// wasInRange stale here would swallow the next
+				// entering edge after the error clears.
+				r.wasInRange = false
 				continue
 			}
 			if in && r.attr.Interrupt && !r.wasInRange {
 				s.NotifiesSent++
+				s.obs.Emit("eem", "notify", sess.key(),
+					obs.F("var", r.id.Var), obs.F("value", v))
 				sess.conn.Write(encodeMsg(wireMsg{Kind: msgNotify, ID: r.id, V: v}))
 			}
 			r.wasInRange = in
@@ -166,6 +220,7 @@ func (s *Server) Tick() {
 		}
 		if len(batch) > 0 {
 			s.UpdatesSent++
+			s.obs.Emit("eem", "update", sess.key(), obs.F("vars", len(batch)))
 			sess.conn.Write(encodeMsg(wireMsg{Kind: msgUpdate, Batch: batch}))
 		}
 	}

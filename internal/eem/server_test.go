@@ -1,0 +1,179 @@
+package eem
+
+// White-box regression tests for the server's determinism and
+// edge-trigger behavior. These live inside the package so they can
+// drive the wire protocol directly (encodeMsg) and inspect which
+// session each message went to without a full simulated network.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// recConn records everything the server writes to one session into a
+// shared, ordered log, so tests can assert cross-session write order.
+type recConn struct {
+	name string
+	log  *[]string
+}
+
+func (c *recConn) Write(b []byte) error {
+	var m wireMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		panic(err)
+	}
+	*c.log = append(*c.log, c.name+":"+m.Kind)
+	return nil
+}
+
+func (c *recConn) Close() {}
+
+// register feeds one register line into a session's data callback.
+func register(onData func([]byte), id ID, a Attr) {
+	onData(encodeMsg(wireMsg{Kind: msgRegister, ID: id, A: a}))
+}
+
+// TestTickVisitsSessionsInAcceptOrder pins the determinism contract:
+// with several clients registered for an always-in-range variable,
+// every Tick must emit their updates in accept order. The pre-fix
+// server iterated a map of sessions, so with 6 sessions and 20 ticks
+// the chance of this passing by luck is (1/6!)^20.
+func TestTickVisitsSessionsInAcceptOrder(t *testing.T) {
+	s := NewServer("test")
+	s.AddSource(SourceFunc{
+		Names: []string{"v"},
+		Fn:    func(string, int) (Value, error) { return LongValue(5), nil },
+	})
+
+	var log []string
+	const n = 6
+	for i := 0; i < n; i++ {
+		onData, _ := s.Accept(&recConn{name: fmt.Sprintf("c%d", i), log: &log})
+		register(onData, ID{Var: "v"}, Attr{Lower: LongValue(0), Op: GTE})
+	}
+
+	for tick := 0; tick < 20; tick++ {
+		log = log[:0]
+		s.Tick()
+		if len(log) != n {
+			t.Fatalf("tick %d: %d messages, want %d: %v", tick, len(log), n, log)
+		}
+		for i, got := range log {
+			want := fmt.Sprintf("c%d:%s", i, msgUpdate)
+			if got != want {
+				t.Fatalf("tick %d: message %d = %q, want %q (full order %v)", tick, i, got, want, log)
+			}
+		}
+	}
+}
+
+// TestSessionCloseRemovesFromTick verifies the ordered-slice session
+// registry drops a closed session and keeps the others in order.
+func TestSessionCloseRemovesFromTick(t *testing.T) {
+	s := NewServer("test")
+	s.AddSource(SourceFunc{
+		Names: []string{"v"},
+		Fn:    func(string, int) (Value, error) { return LongValue(1), nil },
+	})
+
+	var log []string
+	var closers []func()
+	for i := 0; i < 3; i++ {
+		onData, onClose := s.Accept(&recConn{name: fmt.Sprintf("c%d", i), log: &log})
+		register(onData, ID{Var: "v"}, Attr{Lower: LongValue(0), Op: GTE})
+		closers = append(closers, onClose)
+	}
+	closers[1]()
+	log = log[:0]
+	s.Tick()
+	if len(log) != 2 || log[0] != "c0:update" || log[1] != "c2:update" {
+		t.Fatalf("post-close tick order = %v, want [c0:update c2:update]", log)
+	}
+}
+
+// TestInterruptRefiresAfterGetError covers the stale-wasInRange bug: a
+// registration whose source errors mid-flight must be treated as
+// out-of-range, so when the value becomes readable and in-range again
+// the interrupt re-fires. Pre-fix, the error path skipped the state
+// update and the second notify never arrived.
+func TestInterruptRefiresAfterGetError(t *testing.T) {
+	val := LongValue(10)
+	fail := false
+	s := NewServer("test")
+	s.AddSource(SourceFunc{
+		Names: []string{"v"},
+		Fn: func(string, int) (Value, error) {
+			if fail {
+				return Value{}, fmt.Errorf("source unavailable")
+			}
+			return val, nil
+		},
+	})
+
+	var log []string
+	onData, _ := s.Accept(&recConn{name: "c", log: &log})
+	register(onData, ID{Var: "v"}, Attr{Lower: LongValue(5), Op: GT, Interrupt: true})
+
+	notifies := func() int {
+		n := 0
+		for _, m := range log {
+			if m == "c:"+msgNotify {
+				n++
+			}
+		}
+		return n
+	}
+
+	s.Tick() // in range -> first notify
+	if got := notifies(); got != 1 {
+		t.Fatalf("after first tick: %d notifies, want 1", got)
+	}
+
+	fail = true
+	s.Tick() // evaluation errors: must count as out-of-range
+	fail = false
+	s.Tick() // back in range -> edge re-fires
+	if got := notifies(); got != 2 {
+		t.Fatalf("after error round-trip: %d notifies, want 2 (stale wasInRange swallowed the edge)", got)
+	}
+}
+
+// TestInterruptRefiresAfterMatchesError is the same edge through the
+// other error path: Attr.Matches fails (string value under an ordering
+// operator) rather than the source read.
+func TestInterruptRefiresAfterMatchesError(t *testing.T) {
+	val := LongValue(10)
+	s := NewServer("test")
+	s.AddSource(SourceFunc{
+		Names: []string{"v"},
+		Fn:    func(string, int) (Value, error) { return val, nil },
+	})
+
+	var log []string
+	onData, _ := s.Accept(&recConn{name: "c", log: &log})
+	register(onData, ID{Var: "v"}, Attr{Lower: LongValue(5), Op: GT, Interrupt: true})
+
+	notifies := func() int {
+		n := 0
+		for _, m := range log {
+			if m == "c:"+msgNotify {
+				n++
+			}
+		}
+		return n
+	}
+
+	s.Tick()
+	if got := notifies(); got != 1 {
+		t.Fatalf("after first tick: %d notifies, want 1", got)
+	}
+
+	val = StringValue("boom") // GT on a string: Matches errors
+	s.Tick()
+	val = LongValue(10)
+	s.Tick()
+	if got := notifies(); got != 2 {
+		t.Fatalf("after type-mismatch round-trip: %d notifies, want 2", got)
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestObsDeterminism is the acceptance gate of the observability
+// layer: the full ObsDemo scenario — two EEM sessions, lossy ARQ
+// wireless, packet tracing, metrics — run twice with the same seed
+// must produce byte-identical output. Any wall-clock or map-iteration
+// leak into the event log or snapshot fails this immediately.
+func TestObsDeterminism(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		if err := ObsDemo(7, &buf); err != nil {
+			t.Fatalf("ObsDemo: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if bytes.Equal(a, b) {
+		return
+	}
+	// Locate the first differing line for a useful failure message.
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			t.Fatalf("outputs diverge at line %d:\n  run1: %s\n  run2: %s", i+1, la[i], lb[i])
+		}
+	}
+	t.Fatalf("outputs differ in length: %d vs %d bytes", len(a), len(b))
+}

@@ -82,7 +82,7 @@ func (sh *Shell) Exec(line string) {
 		sh.cmdSPs()
 	case "use":
 		sh.cmdUse(rest)
-	case "streams", "filters", "report", "load", "remove", "add", "delete",
+	case "streams", "filters", "report", "stats", "events", "load", "remove", "add", "delete",
 		"service", "unservice", "services", "auth":
 		sh.forward(cmd, rest)
 	case "vars":
@@ -108,6 +108,8 @@ func (sh *Shell) help() {
   streams                     active streams on the current proxy
   filters                     filters loaded on the current proxy
   report [filter]             per-filter stream report
+  stats                       unified metrics snapshot (proxy/links/tcp/eem)
+  events [n]                  tail of the observability event log
   load <filter>               load a filter library
   remove <filter>             unload a filter library
   add <f> <sIP> <sP> <dIP> <dP> [args]   add a filter/service to a stream key

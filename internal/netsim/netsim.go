@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ip"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -280,7 +281,13 @@ type ProtoHandler func(h ip.Header, payload []byte, raw []byte, in *Iface)
 type Network struct {
 	sched *sim.Scheduler
 	nodes map[string]*Node
+	// obs, when non-nil, receives link-level events (queue drops,
+	// losses, ARQ activity). Never touched on the lossless fast path.
+	obs *obs.Bus
 }
+
+// SetObs attaches the observability bus to the whole network.
+func (n *Network) SetObs(b *obs.Bus) { n.obs = b }
 
 // New creates an empty network on the given scheduler.
 func New(s *sim.Scheduler) *Network {
@@ -533,11 +540,17 @@ func (d *direction) arqRecover(s *sim.Scheduler, peer *Iface, pkt []byte) {
 	extra := time.Duration(0)
 	for r := 1; r <= a.MaxRetries; r++ {
 		extra += a.RetransDelay
+		// Each retransmission round costs link capacity whether or not
+		// it ultimately delivers, so charge it as it happens — a frame
+		// that exhausts its budget still spent MaxRetries rounds.
+		d.stats.ARQRetries++
 		if d.cfg.Loss.Drop(s.Rand(), len(pkt)) {
 			continue // this round lost too
 		}
 		dup := a.PDup > 0 && s.Rand().Float64() < a.PDup
-		d.stats.ARQRetries += int64(r)
+		if b := peer.link.net.obs; b.Enabled() {
+			b.Emit("netsim", "arq-recovered", linkKey(peer), obs.F("rounds", r), obs.F("len", len(pkt)))
+		}
 		s.After(extra, func() {
 			if d.down || peer.link == nil {
 				return
@@ -553,6 +566,50 @@ func (d *direction) arqRecover(s *sim.Scheduler, peer *Iface, pkt []byte) {
 		return
 	}
 	d.stats.Dropped++ // exhausted the retry budget
+	if b := peer.link.net.obs; b.Enabled() {
+		b.Emit("netsim", "arq-exhausted", linkKey(peer), obs.F("rounds", a.MaxRetries), obs.F("len", len(pkt)))
+	}
+}
+
+// linkKey renders the direction delivering to peer as "src->dst".
+func linkKey(peer *Iface) string {
+	return peer.peer().addr.String() + "->" + peer.addr.String()
+}
+
+// peerAddr renders f's link peer address, or "?" while detached.
+func peerAddr(f *Iface) string {
+	if p := f.peer(); p != nil {
+		return p.addr.String()
+	}
+	return "?"
+}
+
+// RegisterMetrics exposes both directions' counters under prefix:
+// "<prefix>.ab.*" covers a→b traffic, "<prefix>.ba.*" the reverse.
+func (l *Link) RegisterMetrics(r *obs.Registry, prefix string) {
+	reg := func(d *direction, p string) {
+		r.Counter(p+".packets", func() int64 { return d.stats.Packets })
+		r.Counter(p+".bytes", func() int64 { return d.stats.Bytes })
+		r.Counter(p+".dropped", func() int64 { return d.stats.Dropped })
+		r.Counter(p+".queue_drops", func() int64 { return d.stats.QueueDrops })
+		r.Counter(p+".delivered_pkts", func() int64 { return d.stats.DeliveredPkts })
+		r.Counter(p+".delivered_bytes", func() int64 { return d.stats.DeliveredBytes })
+		r.Counter(p+".arq_retries", func() int64 { return d.stats.ARQRetries })
+		r.Counter(p+".arq_duplicates", func() int64 { return d.stats.ARQDuplicates })
+	}
+	reg(&l.ab, prefix+".ab")
+	reg(&l.ba, prefix+".ba")
+}
+
+// RegisterMetrics exposes the node's IP MIB counters under prefix.
+func (nd *Node) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".ip_in_receives", func() int64 { return nd.Stats.IPInReceives })
+	r.Counter(prefix+".ip_in_hdr_errors", func() int64 { return nd.Stats.IPInHdrErrors })
+	r.Counter(prefix+".ip_in_addr_errors", func() int64 { return nd.Stats.IPInAddrErrors })
+	r.Counter(prefix+".ip_forw_datagrams", func() int64 { return nd.Stats.IPForwDatagrams })
+	r.Counter(prefix+".ip_in_delivers", func() int64 { return nd.Stats.IPInDelivers })
+	r.Counter(prefix+".ip_out_requests", func() int64 { return nd.Stats.IPOutRequests })
+	r.Counter(prefix+".ip_out_no_routes", func() int64 { return nd.Stats.IPOutNoRoutes })
 }
 
 // transmit serializes a packet onto the interface's link direction.
@@ -567,6 +624,9 @@ func (f *Iface) transmit(raw []byte) {
 	}
 	if d.queued >= d.cfg.QueueLen {
 		d.stats.QueueDrops++
+		if b := l.net.obs; b.Enabled() {
+			b.Emit("netsim", "queue-drop", f.addr.String()+"->"+peerAddr(f), obs.F("len", len(raw)))
+		}
 		return
 	}
 	s := l.net.sched
@@ -599,6 +659,9 @@ func (f *Iface) transmit(raw []byte) {
 				return
 			}
 			d.stats.Dropped++
+			if b := l.net.obs; b.Enabled() {
+				b.Emit("netsim", "loss", linkKey(peer), obs.F("len", len(pkt)))
+			}
 			return
 		}
 		d.stats.DeliveredPkts++

@@ -390,3 +390,28 @@ func TestJitterVariesDelay(t *testing.T) {
 		t.Fatalf("jitter too uniform: [%v, %v]", minD, maxD)
 	}
 }
+
+func TestARQChargesRoundsWhenExhausted(t *testing.T) {
+	// Certain loss: every frame burns all MaxRetries rounds and is
+	// dropped. Each round consumes link capacity, so the accounting
+	// must charge them even though no round succeeds — the pre-fix
+	// code only credited retries on a successful round, reporting an
+	// ARQ link that retransmitted constantly as having retried never.
+	const frames, retries = 20, 3
+	s, _, a, b := twoHosts(t, LinkConfig{
+		Loss: Bernoulli{P: 1.0}, QueueLen: 100,
+		ARQ: &ARQConfig{RetransDelay: time.Millisecond, MaxRetries: retries},
+	})
+	for i := 0; i < frames; i++ {
+		a.SendIP(b.Addr(), ip.ProtoUDP, []byte("doomed"))
+	}
+	s.Run()
+	st := a.Ifaces()[0].Link().StatsAB()
+	if st.Dropped != frames {
+		t.Fatalf("Dropped = %d, want %d", st.Dropped, frames)
+	}
+	if st.ARQRetries != frames*retries {
+		t.Fatalf("ARQRetries = %d, want %d (each exhausted frame spent %d rounds)",
+			st.ARQRetries, frames*retries, retries)
+	}
+}

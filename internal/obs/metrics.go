@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Registry is the metrics side of the observability layer: a set of
+// named counters and gauges read on demand from the subsystems that
+// own the underlying state. Registration hands over a closure, not a
+// value, so the registry never needs updating on the hot path — a
+// snapshot reads whatever the counters say at that instant, in sorted
+// name order.
+type Registry struct {
+	counters map[string]func() int64
+	gauges   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]func() int64),
+		gauges:   make(map[string]func() float64),
+	}
+}
+
+// Counter registers a monotonically increasing integer metric read
+// through fn. Duplicate names are wiring bugs and panic.
+func (r *Registry) Counter(name string, fn func() int64) {
+	r.checkNew(name)
+	r.counters[name] = fn
+}
+
+// Gauge registers a point-in-time float metric read through fn.
+// Duplicate names are wiring bugs and panic.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.checkNew(name)
+	r.gauges[name] = fn
+}
+
+func (r *Registry) checkNew(name string) {
+	if _, dup := r.counters[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	if _, dup := r.gauges[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+}
+
+// Sample is one metric at one instant, with its value already rendered
+// in the canonical (byte-stable) form.
+type Sample struct {
+	Name  string
+	Kind  string // "counter" or "gauge"
+	Value string
+}
+
+// Names lists all registered metric names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.counters)+len(r.gauges))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot reads every metric once and returns the samples sorted by
+// name. Sorting (not registration order) makes the snapshot
+// independent of wiring order and map iteration.
+func (r *Registry) Snapshot() []Sample {
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges))
+	for _, n := range r.Names() {
+		if fn, ok := r.counters[n]; ok {
+			out = append(out, Sample{Name: n, Kind: "counter", Value: strconv.FormatInt(fn(), 10)})
+		} else {
+			out = append(out, Sample{Name: n, Kind: "gauge",
+				Value: strconv.FormatFloat(r.gauges[n](), 'g', -1, 64)})
+		}
+	}
+	return out
+}
+
+// Table renders a snapshot as an aligned trace.Table, the same
+// rendering the experiment artifacts use.
+func (r *Registry) Table(title string) *trace.Table {
+	t := trace.NewTable(title, "metric", "kind", "value")
+	for _, s := range r.Snapshot() {
+		t.AddRow(s.Name, s.Kind, s.Value)
+	}
+	return t
+}

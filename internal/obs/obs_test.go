@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBusRecordsInOrder(t *testing.T) {
+	s := sim.NewScheduler(1)
+	b := NewBus(s, 8)
+	b.Emit("proxy", "a", "k1", F("n", 1))
+	s.After(time.Second, func() { b.Emit("eem", "b", "k2") })
+	s.Run()
+	evs := b.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if evs[0].At != 0 || evs[1].At != sim.Time(time.Second) {
+		t.Fatalf("timestamps wrong: %v %v", evs[0].At, evs[1].At)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("seq wrong: %d %d", evs[0].Seq, evs[1].Seq)
+	}
+	want := "0s\tproxy\ta\tk1\tn=1"
+	if got := evs[0].String(); got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestBusRingRetention(t *testing.T) {
+	s := sim.NewScheduler(1)
+	b := NewBus(s, 4)
+	for i := 0; i < 10; i++ {
+		b.Emit("x", "e", "k", F("i", i))
+	}
+	if b.Total() != 10 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for j, e := range evs {
+		want := Field{K: "i", V: string(rune('6' + j))}
+		if e.Fields[0] != want {
+			t.Fatalf("retained[%d] = %v, want i=%s", j, e.Fields[0], want.V)
+		}
+	}
+	// Tail clamps to what is retained.
+	if got := strings.Count(b.Tail(2), "\n"); got != 2 {
+		t.Fatalf("Tail(2) lines = %d", got)
+	}
+	if got := strings.Count(b.Tail(0), "\n"); got != 4 {
+		t.Fatalf("Tail(0) lines = %d", got)
+	}
+}
+
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	b.Emit("x", "y", "z")
+	b.EmitPacket("x", "y", "z", []byte{1})
+	if b.Enabled() || b.PacketsTraced() || b.Total() != 0 || b.Events() != nil {
+		t.Fatal("nil bus not inert")
+	}
+}
+
+func TestWriteLogIsByteStable(t *testing.T) {
+	run := func() string {
+		s := sim.NewScheduler(42)
+		b := NewBus(s, 16)
+		b.Emit("netsim", "loss", "10.0.0.1->10.0.0.2", F("len", 40))
+		s.After(3*time.Millisecond, func() { b.Emit("eem", "update", "s1", F("vars", 2)) })
+		s.Run()
+		var buf bytes.Buffer
+		if err := b.WriteLog(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, c := run(), run()
+	if a != c {
+		t.Fatalf("two identical runs produced different logs:\n%s\n---\n%s", a, c)
+	}
+	if !strings.HasPrefix(a, "# obs events: total=2 retained=2\n") {
+		t.Fatalf("header: %q", a)
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	n := int64(7)
+	r.Counter("z.count", func() int64 { return n })
+	r.Gauge("a.gauge", func() float64 { return 1.5 })
+	r.Counter("m.count", func() int64 { return 2 * n })
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[0].Name != "a.gauge" || snap[1].Name != "m.count" || snap[2].Name != "z.count" {
+		t.Fatalf("not sorted: %v", snap)
+	}
+	if snap[0].Value != "1.5" || snap[1].Value != "14" || snap[2].Value != "7" {
+		t.Fatalf("values: %v", snap)
+	}
+	n = 9
+	if got := r.Snapshot()[2].Value; got != "9" {
+		t.Fatalf("counter not read live: %v", got)
+	}
+	tbl := r.Table("t").String()
+	if !strings.Contains(tbl, "a.gauge") || !strings.Contains(tbl, "counter") {
+		t.Fatalf("table rendering: %q", tbl)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", func() int64 { return 0 })
+	r.Gauge("x", func() float64 { return 0 })
+}
+
+func TestCaptureWritesPcap(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCapture(&buf, 0)
+	pkt := []byte{0x45, 0, 0, 4}
+	c.Packet(sim.Time(1500*time.Millisecond), pkt)
+	c.Packet(sim.Time(2*time.Second), pkt)
+	if c.Err() != nil || c.Packets() != 2 {
+		t.Fatalf("err=%v packets=%d", c.Err(), c.Packets())
+	}
+	b := buf.Bytes()
+	if len(b) != 24+2*(16+len(pkt)) {
+		t.Fatalf("capture size = %d", len(b))
+	}
+	if got := binary.LittleEndian.Uint32(b[0:]); got != pcapMagic {
+		t.Fatalf("magic = %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(b[20:]); got != pcapLinkRaw {
+		t.Fatalf("linktype = %d", got)
+	}
+	// First record: ts 1.5s, lengths 4/4.
+	rec := b[24:]
+	if sec, usec := binary.LittleEndian.Uint32(rec[0:]), binary.LittleEndian.Uint32(rec[4:]); sec != 1 || usec != 500000 {
+		t.Fatalf("timestamp = %d.%06d", sec, usec)
+	}
+	if incl, orig := binary.LittleEndian.Uint32(rec[8:]), binary.LittleEndian.Uint32(rec[12:]); incl != 4 || orig != 4 {
+		t.Fatalf("lengths = %d/%d", incl, orig)
+	}
+}
+
+func TestCaptureSnaplenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCapture(&buf, 2)
+	c.Packet(0, []byte{1, 2, 3, 4, 5})
+	b := buf.Bytes()
+	rec := b[24:]
+	if incl, orig := binary.LittleEndian.Uint32(rec[8:]), binary.LittleEndian.Uint32(rec[12:]); incl != 2 || orig != 5 {
+		t.Fatalf("lengths = %d/%d, want 2/5", incl, orig)
+	}
+	if len(b) != 24+16+2 {
+		t.Fatalf("size = %d", len(b))
+	}
+}
+
+func TestEmitPacketGating(t *testing.T) {
+	s := sim.NewScheduler(1)
+	b := NewBus(s, 8)
+	b.EmitPacket("proxy", "pkt", "k", []byte{1, 2})
+	if b.Total() != 0 {
+		t.Fatal("EmitPacket recorded with tracing off")
+	}
+	b.SetTracePackets(true)
+	if !b.PacketsTraced() {
+		t.Fatal("PacketsTraced false with tracing on")
+	}
+	b.EmitPacket("proxy", "pkt", "k", []byte{1, 2})
+	if b.Total() != 1 {
+		t.Fatal("EmitPacket did not record with tracing on")
+	}
+	var buf bytes.Buffer
+	b.SetTracePackets(false)
+	b.SetCapture(NewCapture(&buf, 0))
+	b.EmitPacket("proxy", "pkt", "k", []byte{1, 2})
+	if b.Total() != 1 {
+		t.Fatal("capture-only EmitPacket polluted the event ring")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("capture sink received nothing")
+	}
+}

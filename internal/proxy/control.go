@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/ip"
+	"repro/internal/obs"
 	"repro/internal/tcp"
 )
 
@@ -33,6 +34,7 @@ func (p *Proxy) Command(line string) string {
 		return ""
 	}
 	cmd, rest := fields[0], fields[1:]
+	p.obs.Emit("proxy", "command", cmd, obs.F("args", len(rest)))
 	switch cmd {
 	case "load":
 		if len(rest) != 1 {
@@ -139,8 +141,28 @@ func (p *Proxy) Command(line string) string {
 				si.Key, strings.Join(si.Filters, ","), si.Packets, si.Bytes)
 		}
 		return b.String()
+	case "stats":
+		// Extension used by Kati: the unified metrics snapshot
+		// (proxy, links, TCP stacks, EEM — whatever is registered).
+		if p.metrics == nil {
+			return "error: no metrics registry attached\n"
+		}
+		return p.metrics.Table("proxy statistics").String()
+	case "events":
+		// Extension used by Kati: the tail of the observability event
+		// log (default last 20 events).
+		if p.obs == nil {
+			return "error: no event bus attached\n"
+		}
+		n := 20
+		if len(rest) > 0 {
+			if _, err := fmt.Sscanf(rest[0], "%d", &n); err != nil {
+				return "error: usage: events [n]\n"
+			}
+		}
+		return p.obs.Tail(n)
 	case "help":
-		return "commands: load remove add delete report streams filters service unservice services auth help\n"
+		return "commands: load remove add delete report streams filters service unservice services stats events auth help\n"
 	default:
 		return fmt.Sprintf("error: unknown command %q\n", cmd)
 	}

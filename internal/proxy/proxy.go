@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -84,6 +85,12 @@ type Proxy struct {
 	// variable source.
 	metricSource func(name string, index int) (float64, bool)
 
+	// obs and metrics, when set, receive structured events and expose
+	// the proxy's counters. Per-packet events stay off the hot path
+	// unless packet tracing is enabled on the bus.
+	obs     *obs.Bus
+	metrics *obs.Registry
+
 	// Stats counts proxy-level events.
 	Stats Stats
 }
@@ -112,6 +119,26 @@ func New(node *netsim.Node, catalog *filter.Catalog) *Proxy {
 
 // Node returns the network node hosting the proxy.
 func (p *Proxy) Node() *netsim.Node { return p.node }
+
+// SetObs attaches the observability bus and metrics registry. The
+// registry is what the "stats" control command renders; the bus feeds
+// the "events" command.
+func (p *Proxy) SetObs(b *obs.Bus, r *obs.Registry) {
+	p.obs = b
+	p.metrics = r
+}
+
+// RegisterMetrics exposes the proxy's counters under prefix
+// (e.g. "proxy" -> "proxy.intercepted").
+func (p *Proxy) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".intercepted", func() int64 { return p.Stats.Intercepted })
+	r.Counter(prefix+".filtered", func() int64 { return p.Stats.Filtered })
+	r.Counter(prefix+".dropped_by_filter", func() int64 { return p.Stats.DroppedByFilter })
+	r.Counter(prefix+".injected", func() int64 { return p.Stats.Injected })
+	r.Counter(prefix+".reinjected", func() int64 { return p.Stats.Reinjected })
+	r.Gauge(prefix+".streams", func() float64 { return float64(len(p.queues)) })
+	r.Gauge(prefix+".registrations", func() float64 { return float64(len(p.registry)) })
+}
 
 // --- filter.Env -------------------------------------------------------------
 
@@ -154,6 +181,8 @@ func (p *Proxy) detach(q *queue, a *attachment) {
 	}
 	if len(q.attached) == 0 {
 		delete(p.queues, q.key)
+		p.obs.Emit("proxy", "queue-teardown", q.key.String(),
+			obs.F("pkts", q.pkts), obs.F("bytes", q.bytes))
 	}
 }
 
@@ -169,6 +198,8 @@ func (p *Proxy) RemoveStream(k filter.Key) {
 			a.hooks.OnClose()
 		}
 	}
+	p.obs.Emit("proxy", "queue-teardown", k.String(),
+		obs.F("pkts", q.pkts), obs.F("bytes", q.bytes))
 }
 
 // Inject implements filter.Env: emit a raw datagram from the proxy.
@@ -237,6 +268,9 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 		p.emit = append(p.emit, raw) // unparseable: pass through untouched
 		return p.emit
 	}
+	if p.obs.PacketsTraced() {
+		p.obs.EmitPacket("proxy", "intercept", pkt.Key.String(), raw)
+	}
 	q := p.queues[pkt.Key]
 	if q == nil {
 		q = p.buildQueue(pkt.Key)
@@ -267,6 +301,7 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 
 	if pkt.Dropped() {
 		p.Stats.DroppedByFilter++
+		p.obs.Emit("proxy", "filter-drop", q.key.String(), obs.F("len", len(raw)))
 	} else {
 		if pkt.Dirty() {
 			// No filter remarshalled the modified packet: emit it with
@@ -353,7 +388,11 @@ func (p *Proxy) buildQueue(k filter.Key) *queue {
 			}
 		}
 	}
-	return p.queues[k] // filters attached via Env.Attach
+	q := p.queues[k] // filters attached via Env.Attach
+	if q != nil {
+		p.obs.Emit("proxy", "queue-build", k.String(), obs.F("filters", len(q.attached)))
+	}
+	return q
 }
 
 // --- command operations (§5.3.1) ---------------------------------------------
@@ -405,12 +444,22 @@ func (p *Proxy) AddFilter(name string, k filter.Key, args []string) error {
 			return fmt.Errorf("proxy: filter %q not loaded", name)
 		}
 	}
+	// Remember the pre-add match-cache so a failed instantiation can
+	// restore it along with the registry: a registration left behind
+	// after New fails would respawn the broken filter on the next
+	// matching packet.
+	saved := p.negCache
 	p.registry = append(p.registry, &registration{key: k, factory: f, args: args})
 	// A new registration can turn cached negative matches stale;
 	// removals (delete/remove) never can, so only adds invalidate.
 	p.invalidateMatchCache()
 	if !k.IsWild() {
-		return f.New(p, k, args)
+		if err := f.New(p, k, args); err != nil {
+			p.registry = p.registry[:len(p.registry)-1]
+			p.negCache = saved
+			return err
+		}
+		return nil
 	}
 	// Service active streams that match the new wild-card.
 	var live []filter.Key
@@ -456,10 +505,18 @@ func (p *Proxy) DeleteFilter(name string, k filter.Key) error {
 }
 
 func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
-	for qk, q := range p.queues {
-		if !match(qk) {
-			continue
+	// Sort the matching keys before touching them: OnClose hooks have
+	// observable effects (events, TCP teardown), so their order must
+	// not depend on map iteration.
+	var keys []filter.Key
+	for qk := range p.queues {
+		if match(qk) {
+			keys = append(keys, qk)
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, qk := range keys {
+		q := p.queues[qk]
 		kept := q.attached[:0]
 		for _, a := range q.attached {
 			if a.hooks.Filter == name {
@@ -473,6 +530,8 @@ func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
 		q.attached = kept
 		if len(q.attached) == 0 {
 			delete(p.queues, qk)
+			p.obs.Emit("proxy", "queue-teardown", qk.String(),
+				obs.F("pkts", q.pkts), obs.F("bytes", q.bytes))
 		}
 	}
 }

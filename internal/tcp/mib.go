@@ -1,5 +1,7 @@
 package tcp
 
+import "repro/internal/obs"
+
 // MIB holds the stack-wide counters of the SNMP MIB-II tcp group
 // (RFC 1213), which the thesis's EEM exports (Table 6.1). Gauges
 // (tcpCurrEstab) are computed on demand; counters accumulate for the
@@ -28,4 +30,18 @@ func (s *Stack) CurrEstab() int {
 		}
 	}
 	return n
+}
+
+// RegisterMetrics exposes the stack's MIB counters and the
+// tcpCurrEstab gauge in a metrics registry under prefix.
+func (s *Stack) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".active_opens", func() int64 { return s.mib.ActiveOpens })
+	r.Counter(prefix+".passive_opens", func() int64 { return s.mib.PassiveOpens })
+	r.Counter(prefix+".attempt_fails", func() int64 { return s.mib.AttemptFails })
+	r.Counter(prefix+".estab_resets", func() int64 { return s.mib.EstabResets })
+	r.Counter(prefix+".in_segs", func() int64 { return s.mib.InSegs })
+	r.Counter(prefix+".out_segs", func() int64 { return s.mib.OutSegs })
+	r.Counter(prefix+".retrans_segs", func() int64 { return s.mib.RetransSegs })
+	r.Counter(prefix+".in_errs", func() int64 { return s.mib.InErrs })
+	r.Gauge(prefix+".curr_estab", func() float64 { return float64(s.CurrEstab()) })
 }
