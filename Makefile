@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench obs-determinism verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard obs-determinism verify
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,34 @@ fuzz:
 	$(GO) test ./internal/ip -fuzz FuzzIPParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tcp -fuzz FuzzTCPParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/filter -fuzz FuzzFilterParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/filter -fuzz FuzzSteerKey -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dataplane -fuzz FuzzSteer -fuzztime $(FUZZTIME)
 
 # Hot-path micro-benchmarks, benchstat-ready (10 samples each).
 bench:
 	./bench.sh
+
+# Sharded data-plane scaling curve: BenchmarkShardedIntercept sizes its
+# shard count from GOMAXPROCS, so sweeping -cpu 1,2,4,8 measures the
+# aggregate interception rate at 1/2/4/8 shards. The pkts/s metric per
+# shard count lands in BENCH_shard.json.
+bench-shard:
+	$(GO) test ./internal/perf -run '^$$' -bench BenchmarkShardedIntercept \
+		-benchmem -cpu 1,2,4,8 -count=1 | tee /tmp/bench_shard.txt
+	@awk 'BEGIN { split("1 2 4 8", order, " ") } \
+	/^BenchmarkShardedIntercept/ { \
+		n = split($$1, name, "-"); cpus = (n > 1) ? name[n] : 1; \
+		for (i = 2; i <= NF; i++) if ($$i == "pkts/s") rate[cpus] = $$(i-1); \
+	} \
+	END { \
+		printf "{\n  \"benchmark\": \"BenchmarkShardedIntercept\",\n  \"metric\": \"pkts/s\",\n  \"shards\": {"; \
+		sep = ""; \
+		for (j = 1; j <= 4; j++) if (order[j] in rate) { \
+			printf "%s\n    \"%s\": %s", sep, order[j], rate[order[j]]; sep = ","; \
+		} \
+		printf "\n  }\n}\n"; \
+	}' /tmp/bench_shard.txt > BENCH_shard.json
+	@cat BENCH_shard.json
 
 # Two separate processes run the observability demo with the same seed;
 # their full event logs and metrics snapshots must be byte-identical.

@@ -2,7 +2,10 @@
 # Run the hot-path micro-benchmarks (internal/perf) with allocation
 # reporting and enough samples for benchstat. Extra args pass through,
 # e.g.:  ./bench.sh -bench InterceptPassThrough
+#        ./bench.sh -bench ShardedIntercept -cpu 1,2,4,8 -count 1
 #        ./bench.sh > new.txt && benchstat old.txt new.txt
+# (`make bench-shard` runs the multi-core shard sweep on its own and
+# writes the pkts/s curve to BENCH_shard.json.)
 set -e
 cd "$(dirname "$0")"
 exec go test ./internal/perf -run '^$' -bench . -benchmem -count=10 "$@"

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	spd [-listen :12000] [-loss 0.02] [-bw 2000000]
+//	spd [-listen :12000] [-loss 0.02] [-bw 2000000] [-shards 4]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -33,10 +34,12 @@ func main() {
 	loss := flag.Float64("loss", 0.0, "wireless packet loss probability")
 	bw := flag.Int64("bw", 2e6, "wireless bandwidth, bits/s")
 	debug := flag.String("debug", "", "address for expvar/pprof debug HTTP (e.g. localhost:6060); empty disables")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "data-plane shard count (1 = classic single interception loop)")
 	flag.Parse()
 
 	sys := core.NewSystem(core.Config{
-		Seed: time.Now().UnixNano(),
+		Seed:   time.Now().UnixNano(),
+		Shards: *shards,
 		Wireless: netsim.LinkConfig{
 			Bandwidth: *bw,
 			Delay:     10 * time.Millisecond,
@@ -117,7 +120,7 @@ func serve(conn net.Conn, rt *sim.Realtime, sys *core.System) {
 	for sc.Scan() {
 		line := sc.Text()
 		var out string
-		rt.DoSync(func() { out = sys.Proxy.Command(line) })
+		rt.DoSync(func() { out = sys.Plane.Command(line) })
 		if out != "" {
 			if _, err := conn.Write([]byte(out)); err != nil {
 				return

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dataplane"
 	"repro/internal/eem"
 	"repro/internal/filter"
 	"repro/internal/filters"
@@ -49,6 +50,11 @@ type Config struct {
 	Wire        netsim.LinkConfig
 	TCP         tcp.Config
 	DoubleProxy bool
+	// Shards is the data-plane shard count (0 or 1 = the classic
+	// single interception loop, byte-for-byte deterministic; N>1
+	// partitions proxy state by flow-steering hash, still inline and
+	// deterministic inside the simulator).
+	Shards      int
 	EEMInterval time.Duration
 	// WithUser adds a Kati workstation node wired to the proxy.
 	WithUser bool
@@ -67,9 +73,14 @@ type System struct {
 	ProxyHostB    *netsim.Node // nil unless DoubleProxy
 	User          *netsim.Node // nil unless WithUser
 
-	Proxy  *proxy.Proxy
-	ProxyB *proxy.Proxy // nil unless DoubleProxy
+	Proxy  *proxy.Proxy // shard 0 of Plane
+	ProxyB *proxy.Proxy // nil unless DoubleProxy; shard 0 of PlaneB
 	EEM    *eem.Server
+
+	// Plane is the sharded data plane owning the proxy host's packet
+	// hook; commands go through it so mutations reach every shard.
+	Plane  *dataplane.Plane
+	PlaneB *dataplane.Plane // nil unless DoubleProxy
 
 	WiredTCP, MobileTCP *tcp.Stack
 	WiredUDP, MobileUDP *udp.Stack
@@ -125,9 +136,10 @@ func NewSystem(cfg Config) *System {
 
 	sys.Catalog = filter.NewCatalog()
 	filters.RegisterAll(sys.Catalog)
-	sys.Proxy = proxy.New(sys.ProxyHost, sys.Catalog)
-	sys.Proxy.SetObs(sys.Obs, sys.Metrics)
-	sys.Proxy.RegisterMetrics(sys.Metrics, "proxy")
+	sys.Plane = dataplane.NewInline(sys.ProxyHost, sys.Catalog, cfg.Shards)
+	sys.Proxy = sys.Plane.Shard(0)
+	sys.Plane.SetObs(sys.Obs, sys.Metrics)
+	sys.Plane.RegisterMetrics(sys.Metrics, "proxy")
 
 	if cfg.DoubleProxy {
 		sys.ProxyHostB = n.AddNode("proxyB")
@@ -142,9 +154,10 @@ func NewSystem(cfg Config) *System {
 		sys.Mobile.AddDefaultRoute(lm.IfaceB())
 		catB := filter.NewCatalog()
 		filters.RegisterAll(catB)
-		sys.ProxyB = proxy.New(sys.ProxyHostB, catB)
-		sys.ProxyB.SetObs(sys.Obs, sys.Metrics)
-		sys.ProxyB.RegisterMetrics(sys.Metrics, "proxyB")
+		sys.PlaneB = dataplane.NewInline(sys.ProxyHostB, catB, cfg.Shards)
+		sys.ProxyB = sys.PlaneB.Shard(0)
+		sys.PlaneB.SetObs(sys.Obs, sys.Metrics)
+		sys.PlaneB.RegisterMetrics(sys.Metrics, "proxyB")
 	} else {
 		wless := n.Connect(sys.ProxyHost, ip.MustParseAddr("11.11.11.1"), sys.Mobile, MobileAddr, cfg.Wireless)
 		sys.Wireless = wless
@@ -172,7 +185,7 @@ func NewSystem(cfg Config) *System {
 	sys.ProxyHost.RegisterProto(ip.ProtoTCP, func(h ip.Header, p, raw []byte, in *netsim.Iface) {
 		ctrl.Deliver(h.Src, h.Dst, p)
 	})
-	if err := proxy.ServeControl(ctrl, proxy.ControlPort, sys.Proxy); err != nil {
+	if err := proxy.ServeControl(ctrl, proxy.ControlPort, sys.Plane); err != nil {
 		panic(fmt.Sprintf("core: control port: %v", err))
 	}
 	ctrl.RegisterMetrics(sys.Metrics, "tcp.proxyctrl")
@@ -184,7 +197,7 @@ func NewSystem(cfg Config) *System {
 	sys.EEM.AddSource(nodeSrc)
 	// Adaptive filters query the same variables through their Env
 	// (thesis ch. 6: filters are EEM clients too).
-	sys.Proxy.SetMetricSource(func(name string, index int) (float64, bool) {
+	sys.Plane.SetMetricSource(func(name string, index int) (float64, bool) {
 		v, err := nodeSrc.Get(name, index)
 		if err != nil {
 			return 0, false
@@ -228,7 +241,7 @@ func registerStacks(node *netsim.Node, t *tcp.Stack, u *udp.Stack) {
 // MustCommand runs an SP command on the primary proxy and panics on an
 // error response (setup helper for examples and experiments).
 func (s *System) MustCommand(line string) string {
-	out := s.Proxy.Command(line)
+	out := s.Plane.Command(line)
 	if len(out) >= 5 && out[:5] == "error" {
 		panic(fmt.Sprintf("core: proxy command %q: %s", line, out))
 	}
@@ -237,10 +250,10 @@ func (s *System) MustCommand(line string) string {
 
 // MustCommandB is MustCommand against the second proxy.
 func (s *System) MustCommandB(line string) string {
-	if s.ProxyB == nil {
+	if s.PlaneB == nil {
 		panic("core: no second proxy (Config.DoubleProxy)")
 	}
-	out := s.ProxyB.Command(line)
+	out := s.PlaneB.Command(line)
 	if len(out) >= 5 && out[:5] == "error" {
 		panic(fmt.Sprintf("core: proxyB command %q: %s", line, out))
 	}

@@ -1,0 +1,441 @@
+package dataplane
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/filter"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/proxy"
+	"repro/internal/sim"
+)
+
+// Sink receives each shard's interception output in concurrent mode.
+// out is the shard proxy's borrowed emit slice — it is valid only
+// until that shard's next packet, so the sink must consume (forward,
+// count, copy) synchronously, exactly like netsim's hook contract.
+type Sink func(shard int, out [][]byte)
+
+// Plane is the sharded data plane: N proxy shards behind a
+// flow-steering dispatcher, plus the epoch/quiesce control plane that
+// keeps the telnet interface (and Kati behind it) working unchanged.
+type Plane struct {
+	shards  []*proxy.Proxy
+	workers []*worker // nil in inline mode
+	n       int
+
+	// bus receives the single "proxy/command" event per control line
+	// when the plane (rather than a lone shard) routes commands.
+	bus *obs.Bus
+
+	// epoch counts applied control-plane mutations. A reader that
+	// observes epoch E is guaranteed every shard has applied mutations
+	// 1..E: the counter is bumped only after the quiesce barrier.
+	epoch atomic.Uint64
+
+	closed bool
+}
+
+// NewInline builds a plane whose steering and interception run
+// synchronously on the caller's goroutine — inside the deterministic
+// simulator. It installs itself as node's packet hook. With shards=1
+// the plane is a transparent wrapper over today's proxy: same hook,
+// same events, same bytes.
+func NewInline(node *netsim.Node, catalog *filter.Catalog, shards int) *Plane {
+	if shards < 1 {
+		shards = 1
+	}
+	pl := &Plane{n: shards}
+	for i := 0; i < shards; i++ {
+		pl.shards = append(pl.shards, proxy.NewDetached(node, catalog))
+	}
+	node.SetHook(pl.Hook)
+	return pl
+}
+
+// ConcurrentConfig shapes NewConcurrent.
+type ConcurrentConfig struct {
+	Shards  int
+	Catalog *filter.Catalog
+	// Seed seeds each shard's private scheduler (shard i gets
+	// Seed + i), so filters drawing randomness stay single-writer.
+	Seed int64
+	// RingSize bounds each shard's SPSC ring (rounded up to a power
+	// of two; default 1024).
+	RingSize int
+	// Sink receives interception output; nil discards it.
+	Sink Sink
+}
+
+// NewConcurrent builds a plane with one goroutine per shard, each fed
+// by a bounded SPSC ring. Each shard owns a private scheduler and node
+// (filter timers never fire — this mode is for throughput paths and
+// stress tests, not the deterministic experiments; see DESIGN.md).
+func NewConcurrent(cfg ConcurrentConfig) *Plane {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	size := cfg.RingSize
+	if size <= 0 {
+		size = 1024
+	}
+	pl := &Plane{n: n}
+	for i := 0; i < n; i++ {
+		s := sim.NewScheduler(cfg.Seed + int64(i))
+		net := netsim.New(s)
+		node := net.AddNode(fmt.Sprintf("shard%d", i))
+		w := &worker{
+			idx:  i,
+			prox: proxy.NewDetached(node, cfg.Catalog),
+			ring: newRing(size),
+			sink: cfg.Sink,
+			ctrl: make(chan ctrlMsg, 4),
+			wake: make(chan struct{}, 1),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		pl.shards = append(pl.shards, w.prox)
+		pl.workers = append(pl.workers, w)
+	}
+	for _, w := range pl.workers {
+		go w.run()
+	}
+	return pl
+}
+
+// N returns the shard count.
+func (pl *Plane) N() int { return pl.n }
+
+// Epoch returns the number of applied control-plane mutations.
+func (pl *Plane) Epoch() uint64 { return pl.epoch.Load() }
+
+// Shard exposes shard i's proxy. In concurrent mode only its atomic
+// surface (Stats, QueueCount, RegistrationCount) is safe to touch from
+// outside the shard goroutine.
+func (pl *Plane) Shard(i int) *proxy.Proxy { return pl.shards[i] }
+
+func (pl *Plane) inline() bool { return pl.workers == nil }
+
+// --- packet path -------------------------------------------------------------
+
+// Hook is the inline-mode node packet hook: steer, then run the owning
+// shard's interception synchronously. Allocation-free: SteerKey reads
+// the raw bytes in place and the shard reuses its emit list.
+func (pl *Plane) Hook(raw []byte, in *netsim.Iface) [][]byte {
+	if pl.n == 1 {
+		return pl.shards[0].Intercept(raw, in)
+	}
+	si := 0
+	if k, ok := filter.SteerKey(raw); ok {
+		si = ShardOf(k, pl.n)
+	}
+	return pl.shards[si].Intercept(raw, in)
+}
+
+// Dispatch steers raw onto its shard's ring (concurrent mode). A full
+// ring applies backpressure: the dispatcher wakes the consumer and
+// yields until a slot frees, so packets are delayed, never dropped.
+func (pl *Plane) Dispatch(raw []byte) {
+	si := 0
+	if pl.n > 1 {
+		if k, ok := filter.SteerKey(raw); ok {
+			si = ShardOf(k, pl.n)
+		}
+	}
+	w := pl.workers[si]
+	for {
+		ok, wasEmpty := w.ring.push(raw)
+		if ok {
+			if wasEmpty {
+				w.wakeup()
+			}
+			return
+		}
+		w.stalls.Add(1)
+		w.wakeup()
+		runtime.Gosched()
+	}
+}
+
+// Drain blocks until every ring is empty and every shard has passed a
+// packet boundary — all packets dispatched before the call have been
+// fully processed. The caller must not dispatch concurrently.
+func (pl *Plane) Drain() {
+	if pl.inline() {
+		return
+	}
+	for _, w := range pl.workers {
+		for w.ring.len() > 0 {
+			w.wakeup()
+			runtime.Gosched()
+		}
+	}
+	pl.do(func(int, *proxy.Proxy) {}) // quiesce: in-flight packet completes
+}
+
+// Stalls returns the total dispatcher spins on full rings — a
+// backpressure indicator for sizing RingSize.
+func (pl *Plane) Stalls() int64 {
+	var t int64
+	for _, w := range pl.workers {
+		t += w.stalls.Load()
+	}
+	return t
+}
+
+// Close stops the shard goroutines after draining their rings. The
+// plane must not be used afterwards. No-op in inline mode.
+func (pl *Plane) Close() {
+	if pl.inline() || pl.closed {
+		return
+	}
+	pl.closed = true
+	for _, w := range pl.workers {
+		close(w.stop)
+		w.wakeup()
+	}
+	for _, w := range pl.workers {
+		<-w.done
+	}
+}
+
+// --- epoch/quiesce control protocol ------------------------------------------
+
+// do runs fn against every shard's proxy and returns when all have
+// finished. Inline: direct calls in shard order. Concurrent: fn is
+// executed by each shard goroutine at a packet boundary — do is both
+// the mutation broadcast and the quiesce barrier. fn runs concurrently
+// across shards; it must not share unsynchronized state.
+func (pl *Plane) do(fn func(i int, p *proxy.Proxy)) {
+	if pl.inline() {
+		for i, s := range pl.shards {
+			fn(i, s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(pl.workers))
+	for i, w := range pl.workers {
+		i := i
+		w.send(ctrlMsg{fn: func(p *proxy.Proxy) { fn(i, p) }, done: &wg})
+	}
+	wg.Wait()
+}
+
+// doShard is do for a single shard.
+func (pl *Plane) doShard(i int, fn func(p *proxy.Proxy)) {
+	if pl.inline() {
+		fn(pl.shards[i])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	pl.workers[i].send(ctrlMsg{fn: fn, done: &wg})
+	wg.Wait()
+}
+
+// mutate is do plus an epoch bump after the barrier.
+func (pl *Plane) mutate(fn func(i int, p *proxy.Proxy)) {
+	pl.do(fn)
+	pl.epoch.Add(1)
+}
+
+// --- control plane -----------------------------------------------------------
+
+// SetObs attaches the deployment bus and metrics registry to the plane
+// and every shard (inline mode only: shards in concurrent mode run on
+// private schedulers and must not share a scheduler-bound bus).
+func (pl *Plane) SetObs(b *obs.Bus, r *obs.Registry) {
+	if !pl.inline() {
+		panic("dataplane: SetObs is inline-only (concurrent shards own private schedulers)")
+	}
+	pl.bus = b
+	for _, s := range pl.shards {
+		s.SetObs(b, r)
+	}
+}
+
+// SetMetricSource forwards the execution-environment variable source
+// to every shard (filters are EEM clients, thesis ch. 6).
+func (pl *Plane) SetMetricSource(fn func(name string, index int) (float64, bool)) {
+	pl.do(func(_ int, p *proxy.Proxy) { p.SetMetricSource(fn) })
+}
+
+// SetLog forwards the diagnostic log sink to every shard.
+func (pl *Plane) SetLog(fn func(string)) {
+	pl.do(func(_ int, p *proxy.Proxy) { p.Log = fn })
+}
+
+// FlushMatchCache drops every shard's negative-match cache.
+func (pl *Plane) FlushMatchCache() {
+	pl.do(func(_ int, p *proxy.Proxy) { p.FlushMatchCache() })
+}
+
+// StatsSnapshot returns the exact merged counters across shards (each
+// counter is a single-writer atomic).
+func (pl *Plane) StatsSnapshot() proxy.StatsSnapshot {
+	var t proxy.StatsSnapshot
+	for _, s := range pl.shards {
+		t = t.Merge(s.Stats.Snapshot())
+	}
+	return t
+}
+
+// RegisterMetrics exposes the plane's counters. With one inline shard
+// it delegates to the proxy so the "stats" table is byte-identical to
+// the unsharded deployment; otherwise it registers merged aggregates
+// plus per-shard breakdowns and the control epoch.
+func (pl *Plane) RegisterMetrics(r *obs.Registry, prefix string) {
+	if pl.n == 1 && pl.inline() {
+		pl.shards[0].RegisterMetrics(r, prefix)
+		return
+	}
+	r.Counter(prefix+".intercepted", func() int64 { return pl.StatsSnapshot().Intercepted })
+	r.Counter(prefix+".filtered", func() int64 { return pl.StatsSnapshot().Filtered })
+	r.Counter(prefix+".dropped_by_filter", func() int64 { return pl.StatsSnapshot().DroppedByFilter })
+	r.Counter(prefix+".injected", func() int64 { return pl.StatsSnapshot().Injected })
+	r.Counter(prefix+".reinjected", func() int64 { return pl.StatsSnapshot().Reinjected })
+	r.Gauge(prefix+".streams", func() float64 {
+		var t int64
+		for _, s := range pl.shards {
+			t += s.QueueCount()
+		}
+		return float64(t)
+	})
+	r.Gauge(prefix+".registrations", func() float64 {
+		var t int64
+		for _, s := range pl.shards {
+			t += s.RegistrationCount()
+		}
+		return float64(t)
+	})
+	r.Gauge(prefix+".shards", func() float64 { return float64(pl.n) })
+	r.Counter(prefix+".epoch", func() int64 { return int64(pl.Epoch()) })
+	for i, s := range pl.shards {
+		s := s
+		sp := fmt.Sprintf("%s.shard%d", prefix, i)
+		r.Counter(sp+".intercepted", func() int64 { return s.Stats.Intercepted.Load() })
+		r.Counter(sp+".filtered", func() int64 { return s.Stats.Filtered.Load() })
+		r.Gauge(sp+".streams", func() float64 { return float64(s.QueueCount()) })
+	}
+}
+
+// Command implements proxy.Commander over the sharded plane. With one
+// inline shard every line is delegated verbatim — today's behavior,
+// event for event. Otherwise the plane emits a single "proxy/command"
+// event and routes: exact-key add/delete go to the owning shard,
+// registry/service mutations broadcast under the quiesce protocol,
+// report/streams merge per-shard state, and shared-state queries
+// (stats, events, filters, services, help) answer from shard 0.
+func (pl *Plane) Command(line string) string {
+	if pl.n == 1 && pl.inline() {
+		return pl.shards[0].Command(line)
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return ""
+	}
+	pl.bus.Emit("proxy", "command", fields[0], obs.F("args", len(fields)-1))
+	switch fields[0] {
+	case "add", "delete":
+		if len(fields) >= 6 {
+			if k, err := filter.ParseKey(fields[2:6]); err == nil && !k.IsWild() {
+				// Exact key: only the owning shard can ever see matching
+				// packets (both directions steer identically), so route
+				// there instead of building ghost queues on every shard.
+				var out string
+				pl.doShard(ShardOf(k, pl.n), func(p *proxy.Proxy) { out = p.Exec(line) })
+				pl.epoch.Add(1)
+				return out
+			}
+		}
+		return pl.broadcast(line)
+	case "load", "remove", "service", "unservice":
+		return pl.broadcast(line)
+	case "report":
+		name := ""
+		if len(fields) > 1 {
+			name = fields[1]
+		}
+		return pl.mergedReport(name)
+	case "streams":
+		return pl.mergedStreams()
+	default:
+		// stats/events/filters/services/help/unknown: identical shared
+		// state on every shard — answer from shard 0.
+		var out string
+		pl.doShard(0, func(p *proxy.Proxy) { out = p.Exec(line) })
+		return out
+	}
+}
+
+// broadcast Execs line on every shard under the quiesce barrier and
+// returns shard 0's output (shards are deterministic replicas for
+// registry/pool/service state, so outputs agree; any error wins).
+func (pl *Plane) broadcast(line string) string {
+	outs := make([]string, pl.n)
+	pl.mutate(func(i int, p *proxy.Proxy) { outs[i] = p.Exec(line) })
+	for _, o := range outs {
+		if strings.HasPrefix(o, "error") {
+			return o
+		}
+	}
+	return outs[0]
+}
+
+// mergedReport gathers ReportData from every shard and renders one
+// listing (keys are sorted and deduplicated by the renderer, so the
+// shard partitioning is invisible).
+func (pl *Plane) mergedReport(name string) string {
+	type res struct {
+		names []string
+		per   map[string][]string
+		err   error
+	}
+	rs := make([]res, pl.n)
+	pl.do(func(i int, p *proxy.Proxy) {
+		rs[i].names, rs[i].per, rs[i].err = p.ReportData(name)
+	})
+	for _, r := range rs {
+		if r.err != nil {
+			return fmt.Sprintf("error: %v\n", r.err)
+		}
+	}
+	merged := make(map[string][]string)
+	for _, r := range rs {
+		for f, keys := range r.per {
+			merged[f] = append(merged[f], keys...)
+		}
+	}
+	return proxy.RenderReport(rs[0].names, merged)
+}
+
+// Streams returns the merged per-stream accounting across shards,
+// sorted by key.
+func (pl *Plane) Streams() []proxy.StreamInfo {
+	rs := make([][]proxy.StreamInfo, pl.n)
+	pl.do(func(i int, p *proxy.Proxy) { rs[i] = p.Streams() })
+	var out []proxy.StreamInfo
+	for _, r := range rs {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+func (pl *Plane) mergedStreams() string {
+	var b strings.Builder
+	for _, si := range pl.Streams() {
+		fmt.Fprintf(&b, "%s\t[%s]\t%d pkts %d bytes\n",
+			si.Key, strings.Join(si.Filters, ","), si.Packets, si.Bytes)
+	}
+	return b.String()
+}
+
+var _ proxy.Commander = (*Plane)(nil)

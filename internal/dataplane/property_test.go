@@ -1,0 +1,139 @@
+package dataplane_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/filter"
+)
+
+// detFilter is a deterministic per-stream transform for the sharding
+// property test: it drops every 3rd data packet of its stream and
+// truncates the others by one byte. Its behavior depends only on the
+// per-stream packet sequence — never on time, randomness, or other
+// streams — so any shard layout that preserves per-stream order must
+// reproduce the N=1 output exactly.
+type detFilter struct{}
+
+func (*detFilter) Name() string              { return "det" }
+func (*detFilter) Priority() filter.Priority { return filter.Low }
+func (*detFilter) Description() string       { return "deterministic drop/truncate (test)" }
+
+func (*detFilter) New(env filter.Env, k filter.Key, args []string) error {
+	count := 0
+	_, err := env.Attach(k, filter.Hooks{
+		Filter: "det", Priority: filter.Low,
+		Out: func(pkt *filter.Packet) {
+			if pkt.Dropped() || pkt.TCP == nil || len(pkt.TCP.Payload) == 0 {
+				return
+			}
+			count++
+			if count%3 == 0 {
+				pkt.Drop()
+				return
+			}
+			pkt.TCP.Payload = pkt.TCP.Payload[:len(pkt.TCP.Payload)-1]
+			pkt.MarkDirty()
+		},
+	})
+	return err
+}
+
+// buildTrace makes an interleaved packet trace over flows distinct
+// streams. Buffers are never reused: each dispatch owns its bytes.
+func buildTrace(t testing.TB, flows, perFlow int) [][]byte {
+	t.Helper()
+	type cursor struct {
+		port uint16
+		seq  uint32
+		sent int
+	}
+	cur := make([]*cursor, flows)
+	for i := range cur {
+		cur[i] = &cursor{port: uint16(1000 + i), seq: 1}
+	}
+	rng := rand.New(rand.NewSource(42))
+	var trace [][]byte
+	for len(trace) < flows*perFlow {
+		c := cur[rng.Intn(flows)]
+		if c.sent == perFlow {
+			continue
+		}
+		payload := []byte(fmt.Sprintf("flow=%d seq=%d padpadpad", c.port, c.sent))
+		trace = append(trace, mkSeg(t, c.port, c.seq, payload))
+		c.seq += uint32(len(payload))
+		c.sent++
+	}
+	return trace
+}
+
+// runTrace pushes the trace through a fresh N-shard concurrent plane
+// with the det filter on every stream and returns the per-stream
+// output payload sequences.
+func runTrace(t *testing.T, trace [][]byte, shards int) (map[filter.Key][][]byte, int) {
+	t.Helper()
+	cat := filter.NewCatalog()
+	cat.Register("det", func() filter.Factory { return &detFilter{} })
+	var mu sync.Mutex
+	perStream := make(map[filter.Key][][]byte)
+	total := 0
+	pl := dataplane.NewConcurrent(dataplane.ConcurrentConfig{
+		Shards: shards, Catalog: cat, Seed: 99, RingSize: 256,
+		Sink: func(_ int, out [][]byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, raw := range out {
+				k, ok := filter.SteerKey(raw)
+				if !ok {
+					t.Errorf("unparseable output packet")
+					continue
+				}
+				perStream[k] = append(perStream[k], append([]byte(nil), raw...))
+				total++
+			}
+		},
+	})
+	defer pl.Close()
+	pl.Command("load det")
+	pl.Command("add det 0.0.0.0 0 0.0.0.0 0")
+	for _, raw := range trace {
+		pl.Dispatch(raw)
+	}
+	pl.Drain()
+	return perStream, total
+}
+
+// TestShardedOutputIsPerStreamOrderedInterleaving is the satellite-3
+// property: for any packet trace, the sharded output at any N must be
+// a per-stream-ordered interleaving of the N=1 output with identical
+// byte payloads — sharding may reorder across streams, never within
+// one, and must never alter bytes.
+func TestShardedOutputIsPerStreamOrderedInterleaving(t *testing.T) {
+	trace := buildTrace(t, 16, 50)
+	ref, refTotal := runTrace(t, trace, 1)
+	for _, n := range []int{2, 4, 8} {
+		got, gotTotal := runTrace(t, trace, n)
+		if gotTotal != refTotal {
+			t.Fatalf("N=%d emitted %d packets, N=1 emitted %d", n, gotTotal, refTotal)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("N=%d produced %d streams, N=1 produced %d", n, len(got), len(ref))
+		}
+		for k, want := range ref {
+			seq := got[k]
+			if len(seq) != len(want) {
+				t.Fatalf("N=%d stream %v: %d packets, want %d", n, k, len(seq), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(seq[i], want[i]) {
+					t.Fatalf("N=%d stream %v packet %d differs from N=1:\n got %q\nwant %q",
+						n, k, i, seq[i], want[i])
+				}
+			}
+		}
+	}
+}

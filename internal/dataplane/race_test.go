@@ -1,0 +1,74 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/filter"
+	"repro/internal/filters"
+	"repro/internal/obs"
+)
+
+// TestControlVsTrafficRace hammers control-plane mutations, merged
+// queries, and metric scrapes against live traffic on a concurrent
+// plane. It asserts nothing subtle — the race detector is the oracle:
+// any shard state touched outside its goroutine, or any quiesce bug
+// letting a mutation overlap a packet, fails the -race build.
+func TestControlVsTrafficRace(t *testing.T) {
+	cat := filter.NewCatalog()
+	filters.RegisterAll(cat)
+	pl := dataplane.NewConcurrent(dataplane.ConcurrentConfig{
+		Shards: 4, Catalog: cat, Seed: 7, RingSize: 128,
+	})
+	defer pl.Close()
+	reg := obs.NewRegistry()
+	pl.RegisterMetrics(reg, "plane")
+
+	const pkts = 8000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < pkts; i++ {
+			port := uint16(1000 + i%64)
+			pl.Dispatch(mkSeg(t, port, uint32(1+i), []byte("race traffic payload")))
+		}
+	}()
+
+	pl.Command("load tcp")
+	pl.Command("load rdrop")
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			pl.Drain()
+			snap := pl.StatsSnapshot()
+			if snap.Intercepted != pkts {
+				t.Fatalf("intercepted %d packets, dispatched %d", snap.Intercepted, pkts)
+			}
+			return
+		default:
+		}
+		switch i % 6 {
+		case 0:
+			pl.Command("add rdrop 0.0.0.0 0 0.0.0.0 0 10")
+		case 1:
+			exact := fmt.Sprintf("11.11.10.99 %d 11.11.10.10 5001", 1000+i%64)
+			pl.Command("add rdrop " + exact + " 50")
+		case 2:
+			if out := pl.Command("report"); !strings.Contains(out, "rdrop") {
+				t.Fatalf("report lost rdrop: %q", out)
+			}
+		case 3:
+			pl.Command("streams")
+			reg.Snapshot()
+		case 4:
+			pl.Command("delete rdrop 0.0.0.0 0 0.0.0.0 0")
+			pl.FlushMatchCache()
+		case 5:
+			exact := fmt.Sprintf("11.11.10.99 %d 11.11.10.10 5001", 1000+i%64)
+			pl.Command("delete rdrop " + exact)
+			pl.StatsSnapshot()
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package dataplane
+
+import "sync/atomic"
+
+// ring is a bounded single-producer single-consumer queue of raw
+// packets. Push and pop are lock-free and allocation-free: one atomic
+// load plus one atomic store each in steady state. head and tail are
+// free-running uint32 counters (indices are masked), padded onto
+// separate cache lines so producer and consumer do not false-share.
+//
+// Memory ordering: Go's sync/atomic operations are sequentially
+// consistent, so the producer's slot write happens-before a consumer
+// that observes the advanced tail, and the consumer's slot clear
+// happens-before a producer that observes the advanced head.
+type ring struct {
+	mask  uint32
+	slots [][]byte
+	_     [64]byte
+	head  atomic.Uint32 // consumer position
+	_     [64]byte
+	tail  atomic.Uint32 // producer position
+}
+
+// newRing builds a ring with capacity rounded up to a power of two
+// (minimum 2).
+func newRing(capacity int) *ring {
+	n := uint32(2)
+	for int(n) < capacity {
+		n <<= 1
+	}
+	return &ring{mask: n - 1, slots: make([][]byte, n)}
+}
+
+// push appends raw. ok is false when the ring is full. wasEmpty
+// reports whether the consumer could have been parked when the push
+// landed: the producer wakes the consumer only then, so the steady
+// state (busy consumer) sends no wakeups at all. The check is sound
+// under sequential consistency — if the consumer parked after this
+// push's tail store, its emptiness check must have seen the new tail,
+// a contradiction; so a parked consumer implies wasEmpty was true and
+// a wake was sent.
+func (r *ring) push(raw []byte) (ok, wasEmpty bool) {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false, false
+	}
+	r.slots[t&r.mask] = raw
+	r.tail.Store(t + 1)
+	return true, r.head.Load() == t
+}
+
+// pop removes the oldest packet, clearing its slot so the ring never
+// pins packet buffers.
+func (r *ring) pop() ([]byte, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	raw := r.slots[h&r.mask]
+	r.slots[h&r.mask] = nil
+	r.head.Store(h + 1)
+	return raw, true
+}
+
+// len reports the current queue depth (racy but monotonic-safe: each
+// side's own counter is exact).
+func (r *ring) len() int { return int(r.tail.Load() - r.head.Load()) }

@@ -1,0 +1,58 @@
+// Package dataplane is the sharded flow-steering execution layer of
+// the Service Proxy: a dispatcher hashes each packet's stream key onto
+// one of N shards, and each shard is a complete single-writer proxy
+// instance (its own slice of the stream registry, filter queues,
+// negative-match cache, and Stats). Both directions of a stream land
+// on the same shard, so per-stream packet order — the property TCP
+// filters depend on — is preserved while unrelated streams proceed in
+// parallel.
+//
+// The plane runs in one of two modes:
+//
+//   - Inline (NewInline): steering and interception run synchronously
+//     on the caller's goroutine, inside the deterministic simulator.
+//     With one shard this is byte-for-byte today's proxy; with more it
+//     partitions state while keeping scheduler-ordered execution.
+//   - Concurrent (NewConcurrent): one goroutine per shard behind a
+//     bounded SPSC ring, for multi-core throughput outside the
+//     deterministic simulator (benchmarks, stress tests, future
+//     kernel-bypass backends).
+package dataplane
+
+import "repro/internal/filter"
+
+// FNV-1a constants, written out so shard placement can never pick up a
+// randomized or platform-dependent hash: the same 4-tuple must land on
+// the same shard in every process, every run.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash is the direction-normalized steering hash: both directions of a
+// stream (k and k.Reverse()) hash identically. Endpoints are reduced
+// to 48-bit (IP, port) values, ordered canonically (smaller first),
+// and fed byte-by-byte through FNV-1a.
+func Hash(k filter.Key) uint64 {
+	a := uint64(k.SrcIP)<<16 | uint64(k.SrcPort)
+	b := uint64(k.DstIP)<<16 | uint64(k.DstPort)
+	if a > b {
+		a, b = b, a
+	}
+	h := uint64(fnvOffset64)
+	for shift := 40; shift >= 0; shift -= 8 {
+		h = (h ^ (a >> uint(shift) & 0xff)) * fnvPrime64
+	}
+	for shift := 40; shift >= 0; shift -= 8 {
+		h = (h ^ (b >> uint(shift) & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// ShardOf maps a stream key to its owning shard index in [0, n).
+func ShardOf(k filter.Key, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Hash(k) % uint64(n))
+}

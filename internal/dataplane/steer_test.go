@@ -1,0 +1,74 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/ip"
+)
+
+func key(s string, sp uint16, d string, dp uint16) filter.Key {
+	return filter.Key{SrcIP: ip.MustParseAddr(s), SrcPort: sp,
+		DstIP: ip.MustParseAddr(d), DstPort: dp}
+}
+
+// TestHashDirectionNormalized: both directions of any stream must hash
+// (and therefore shard) identically.
+func TestHashDirectionNormalized(t *testing.T) {
+	keys := []filter.Key{
+		key("11.11.10.99", 7, "11.11.10.10", 5001),
+		key("11.11.10.10", 5001, "11.11.10.99", 7),
+		key("1.2.3.4", 80, "5.6.7.8", 80),
+		key("0.0.0.0", 0, "0.0.0.0", 0),
+		key("255.255.255.255", 65535, "0.0.0.1", 1),
+	}
+	for _, k := range keys {
+		if Hash(k) != Hash(k.Reverse()) {
+			t.Fatalf("hash of %v differs from its reverse", k)
+		}
+		for n := 1; n <= 16; n++ {
+			if ShardOf(k, n) != ShardOf(k.Reverse(), n) {
+				t.Fatalf("shard of %v differs from its reverse at n=%d", k, n)
+			}
+			if s := ShardOf(k, n); s < 0 || s >= n {
+				t.Fatalf("shard %d out of range [0,%d)", s, n)
+			}
+		}
+	}
+}
+
+// TestHashStable pins hash values so shard placement can never change
+// across processes, runs, or Go versions — the determinism contract of
+// ISSUE satellite 4. If this fails, the steering function changed and
+// every recorded shard assignment is invalid.
+func TestHashStable(t *testing.T) {
+	cases := []struct {
+		k    filter.Key
+		want uint64
+	}{
+		{key("11.11.10.99", 7, "11.11.10.10", 5001), 0xa98b93a3eb3120df},
+		{key("1.2.3.4", 80, "5.6.7.8", 443), 0x372b6fef8b658005},
+		{filter.Key{}, 0x5467b0da1d106495},
+	}
+	for _, c := range cases {
+		if got := Hash(c.k); got != c.want {
+			t.Fatalf("Hash(%v) = %#x, want %#x (steering function changed!)", c.k, got, c.want)
+		}
+	}
+}
+
+// TestShardSpread: the hash must not collapse distinct flows onto a
+// few shards — every shard of 8 gets work from 256 distinct ports.
+func TestShardSpread(t *testing.T) {
+	const n = 8
+	var hits [n]int
+	for p := 1; p <= 256; p++ {
+		k := key("11.11.10.99", uint16(p), "11.11.10.10", 5001)
+		hits[ShardOf(k, n)]++
+	}
+	for i, h := range hits {
+		if h == 0 {
+			t.Fatalf("shard %d received no flows out of 256", i)
+		}
+	}
+}

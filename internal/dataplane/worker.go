@@ -1,0 +1,93 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/proxy"
+)
+
+// ctrlMsg is one control-plane operation executed by the shard
+// goroutine between packets. done is signalled after fn returns, so a
+// broadcast that waits on every shard's done is a full quiesce point.
+type ctrlMsg struct {
+	fn   func(p *proxy.Proxy)
+	done *sync.WaitGroup
+}
+
+// worker is one concurrent shard: a goroutine draining an SPSC ring
+// into its private proxy instance. Control messages are checked at
+// packet boundaries only, so a shard's proxy state is touched by
+// exactly one goroutine at a time.
+type worker struct {
+	idx  int
+	prox *proxy.Proxy
+	ring *ring
+	sink Sink
+
+	ctrl chan ctrlMsg
+	wake chan struct{} // buffered(1): at-most-one pending wakeup
+	stop chan struct{}
+	done chan struct{}
+
+	// stalls counts dispatcher spins on a full ring (backpressure).
+	stalls atomic.Int64
+}
+
+// wakeup nudges a possibly-parked worker; a full wake buffer means a
+// wakeup is already pending, which is just as good.
+func (w *worker) wakeup() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// send enqueues a control message and wakes the worker.
+func (w *worker) send(m ctrlMsg) {
+	w.ctrl <- m
+	w.wakeup()
+}
+
+// run is the shard loop: control messages take priority over packets
+// (a mutation broadcast quiesces in bounded time even under sustained
+// traffic), packets drain the ring, and an empty ring parks on the
+// wake channel. On stop the ring is drained before exiting so no
+// dispatched packet is silently lost.
+func (w *worker) run() {
+	defer close(w.done)
+	for {
+		select {
+		case m := <-w.ctrl:
+			m.fn(w.prox)
+			m.done.Done()
+			continue
+		default:
+		}
+		if raw, ok := w.ring.pop(); ok {
+			w.deliver(raw)
+			continue
+		}
+		select {
+		case m := <-w.ctrl:
+			m.fn(w.prox)
+			m.done.Done()
+		case <-w.wake:
+		case <-w.stop:
+			for {
+				raw, ok := w.ring.pop()
+				if !ok {
+					return
+				}
+				w.deliver(raw)
+			}
+		}
+	}
+}
+
+func (w *worker) deliver(raw []byte) {
+	out := w.prox.Intercept(raw, nil)
+	if w.sink != nil {
+		w.sink(w.idx, out)
+	}
+}

@@ -586,7 +586,7 @@ func filterQueueCost(depth int) (pkts int64, usPerPkt float64) {
 		if err != nil || !res.Completed {
 			return 0, -1
 		}
-		pkts = sys.Proxy.Stats.Intercepted
+		pkts = sys.Proxy.Stats.Intercepted.Load()
 		us := float64(time.Since(start).Microseconds()) / float64(pkts)
 		if best < 0 || us < best {
 			best = us

@@ -1,0 +1,105 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+)
+
+// steerCorpus builds representative datagrams: clean TCP/UDP, a TCP
+// segment with options, an undecoded transport, and malformed shapes
+// that must leave ports zero or fail to parse entirely.
+func steerCorpus(t testing.TB) [][]byte {
+	t.Helper()
+	src := ip.MustParseAddr("11.11.10.99")
+	dst := ip.MustParseAddr("11.11.10.10")
+	hdr := func(proto byte) ip.Header {
+		return ip.Header{TTL: 64, Protocol: proto, Src: src, Dst: dst}
+	}
+	var out [][]byte
+	add := func(h ip.Header, payload []byte) {
+		raw, err := h.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, raw)
+	}
+	seg := tcp.Segment{SrcPort: 7, DstPort: 5001, Seq: 1, Ack: 1,
+		Flags: tcp.FlagACK, Window: 8760, Payload: []byte("data")}
+	add(hdr(ip.ProtoTCP), seg.Marshal(src, dst))
+	mss := seg
+	mss.MSS = 1460
+	mss.Flags = tcp.FlagSYN
+	add(hdr(ip.ProtoTCP), mss.Marshal(src, dst))
+	dgm := udp.Datagram{SrcPort: 4000, DstPort: 4001, Payload: []byte("udp")}
+	add(hdr(ip.ProtoUDP), dgm.Marshal(src, dst))
+	add(hdr(ip.ProtoICMP), []byte{8, 0, 0, 0})
+	// Truncated TCP header: ports must stay zero.
+	add(hdr(ip.ProtoTCP), []byte{0, 7, 19, 137, 0, 0})
+	// TCP with a malformed option (kind 2, length 0): tcp.Unmarshal
+	// rejects it, so the key keeps zero ports.
+	bad := seg.Marshal(src, dst)
+	bad[12] = 6 << 4 // data offset 24: 4 bytes of options
+	badOpts := append(append([]byte{}, bad[:20]...), 2, 0, 0, 0)
+	badOpts = append(badOpts, bad[20:]...)
+	add(hdr(ip.ProtoTCP), badOpts)
+	// UDP with a lying length field.
+	badUDP := dgm.Marshal(src, dst)
+	badUDP[4], badUDP[5] = 0xff, 0xff
+	add(hdr(ip.ProtoUDP), badUDP)
+	return out
+}
+
+// TestSteerKeyParity pins SteerKey to Parse over the corpus: same
+// ok/error decision, same key (including zero ports on undecodable
+// transport headers).
+func TestSteerKeyParity(t *testing.T) {
+	corpus := steerCorpus(t)
+	corpus = append(corpus, []byte{0x45, 0x00}, nil, []byte{0x60})
+	for i, raw := range corpus {
+		k, ok := SteerKey(raw)
+		pkt, err := Parse(raw)
+		if err != nil {
+			if ok {
+				t.Fatalf("case %d: SteerKey ok but Parse failed: %v", i, err)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("case %d: Parse ok but SteerKey rejected", i)
+		}
+		if k != pkt.Key {
+			t.Fatalf("case %d: SteerKey %v != Parse key %v", i, k, pkt.Key)
+		}
+		pkt.Release()
+	}
+}
+
+// FuzzSteerKey is the parity gate under arbitrary bytes: SteerKey must
+// agree with Parse on every input, so the dispatcher can never steer a
+// packet to a shard whose proxy would parse it under a different key.
+func FuzzSteerKey(f *testing.F) {
+	for _, raw := range steerCorpus(f) {
+		f.Add(raw)
+	}
+	f.Add([]byte{0x45, 0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		k, ok := SteerKey(b)
+		pkt, err := Parse(b)
+		if err != nil {
+			if ok {
+				t.Fatalf("SteerKey ok on unparseable packet (key %v)", k)
+			}
+			return
+		}
+		defer pkt.Release()
+		if !ok {
+			t.Fatalf("SteerKey rejected parseable packet (key %v)", pkt.Key)
+		}
+		if k != pkt.Key {
+			t.Fatalf("SteerKey %v != Parse key %v", k, pkt.Key)
+		}
+	})
+}

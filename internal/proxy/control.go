@@ -33,8 +33,24 @@ func (p *Proxy) Command(line string) string {
 	if len(fields) == 0 {
 		return ""
 	}
+	p.obs.Emit("proxy", "command", fields[0], obs.F("args", len(fields)-1))
+	return p.exec(fields)
+}
+
+// Exec runs one command line without emitting the "proxy/command"
+// event. The sharded data plane broadcasts a mutation by Exec-ing it
+// on every shard after emitting a single command event itself, so the
+// event log does not depend on the shard count.
+func (p *Proxy) Exec(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return ""
+	}
+	return p.exec(fields)
+}
+
+func (p *Proxy) exec(fields []string) string {
 	cmd, rest := fields[0], fields[1:]
-	p.obs.Emit("proxy", "command", cmd, obs.F("args", len(rest)))
 	switch cmd {
 	case "load":
 		if len(rest) != 1 {
@@ -168,10 +184,17 @@ func (p *Proxy) Command(line string) string {
 	}
 }
 
+// Commander executes SP command lines — implemented by *Proxy and by
+// the sharded dataplane.Plane, so the control interface (and Kati
+// behind it) works unchanged against either.
+type Commander interface {
+	Command(line string) string
+}
+
 // ServeControl exposes the command interface on the given simulated
 // TCP stack, one command per line, mirroring the thesis's telnet
 // interface on port 12000.
-func ServeControl(stack *tcp.Stack, port uint16, p *Proxy) error {
+func ServeControl(stack *tcp.Stack, port uint16, p Commander) error {
 	_, err := stack.Listen(port, func(c *tcp.Conn) {
 		var buf []byte
 		c.OnData = func(b []byte) {
@@ -244,14 +267,14 @@ func mutating(cmd string) bool {
 // ControlSession wraps Command with the per-connection authentication
 // state of a ControlPolicy.
 type ControlSession struct {
-	p      *Proxy
+	p      Commander
 	policy *ControlPolicy
 	authed bool
 }
 
 // NewControlSession creates a session under the given policy (nil
 // policy = fully open, matching the thesis's prototype).
-func NewControlSession(p *Proxy, policy *ControlPolicy) *ControlSession {
+func NewControlSession(p Commander, policy *ControlPolicy) *ControlSession {
 	return &ControlSession{p: p, policy: policy}
 }
 
@@ -279,7 +302,7 @@ func (s *ControlSession) Exec(line string) string {
 
 // ServeControlWithPolicy is ServeControl with per-peer access control
 // and per-session authentication.
-func ServeControlWithPolicy(stack *tcp.Stack, port uint16, p *Proxy, policy *ControlPolicy) error {
+func ServeControlWithPolicy(stack *tcp.Stack, port uint16, p Commander, policy *ControlPolicy) error {
 	_, err := stack.Listen(port, func(c *tcp.Conn) {
 		if !policy.peerAllowed(c.RemoteAddr()) {
 			c.Abort()

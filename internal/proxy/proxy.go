@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/filter"
 	"repro/internal/netsim"
@@ -91,30 +92,77 @@ type Proxy struct {
 	obs     *obs.Bus
 	metrics *obs.Registry
 
+	// nQueues/nRegs mirror len(queues)/len(registry) atomically so a
+	// sharded data plane can expose merged gauges without entering the
+	// shard goroutine. Updated (single-writer) at every mutation.
+	nQueues atomic.Int64
+	nRegs   atomic.Int64
+
 	// Stats counts proxy-level events.
 	Stats Stats
 }
 
-// Stats counts packets through the interception module.
+// Stats counts packets through the interception module. The counters
+// are atomics so the sharded data plane can sum per-shard instances
+// exactly while shard goroutines keep writing: each field has a single
+// writer (the owning shard) and any number of readers.
 type Stats struct {
+	Intercepted     atomic.Int64
+	Filtered        atomic.Int64 // packets that traversed a non-empty queue
+	DroppedByFilter atomic.Int64
+	Injected        atomic.Int64
+	Reinjected      atomic.Int64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Intercepted:     s.Intercepted.Load(),
+		Filtered:        s.Filtered.Load(),
+		DroppedByFilter: s.DroppedByFilter.Load(),
+		Injected:        s.Injected.Load(),
+		Reinjected:      s.Reinjected.Load(),
+	}
+}
+
+// StatsSnapshot is a plain-value copy of Stats, mergeable across
+// shards.
+type StatsSnapshot struct {
 	Intercepted     int64
-	Filtered        int64 // packets that traversed a non-empty queue
+	Filtered        int64
 	DroppedByFilter int64
 	Injected        int64
 	Reinjected      int64
 }
 
+// Merge returns the field-wise sum of a and b.
+func (a StatsSnapshot) Merge(b StatsSnapshot) StatsSnapshot {
+	a.Intercepted += b.Intercepted
+	a.Filtered += b.Filtered
+	a.DroppedByFilter += b.DroppedByFilter
+	a.Injected += b.Injected
+	a.Reinjected += b.Reinjected
+	return a
+}
+
 // New attaches a new service proxy to node, installing its packet
 // hook. Filters are loaded from catalog by the load command.
 func New(node *netsim.Node, catalog *filter.Catalog) *Proxy {
-	p := &Proxy{
+	p := NewDetached(node, catalog)
+	node.SetHook(p.intercept)
+	return p
+}
+
+// NewDetached builds a proxy bound to node for clock/injection but
+// without installing the node packet hook: the sharded data plane owns
+// dispatch and feeds each shard through Intercept directly.
+func NewDetached(node *netsim.Node, catalog *filter.Catalog) *Proxy {
+	return &Proxy{
 		node:    node,
 		catalog: catalog,
 		pool:    make(map[string]filter.Factory),
 		queues:  make(map[filter.Key]*queue),
 	}
-	node.SetHook(p.intercept)
-	return p
 }
 
 // Node returns the network node hosting the proxy.
@@ -131,13 +179,28 @@ func (p *Proxy) SetObs(b *obs.Bus, r *obs.Registry) {
 // RegisterMetrics exposes the proxy's counters under prefix
 // (e.g. "proxy" -> "proxy.intercepted").
 func (p *Proxy) RegisterMetrics(r *obs.Registry, prefix string) {
-	r.Counter(prefix+".intercepted", func() int64 { return p.Stats.Intercepted })
-	r.Counter(prefix+".filtered", func() int64 { return p.Stats.Filtered })
-	r.Counter(prefix+".dropped_by_filter", func() int64 { return p.Stats.DroppedByFilter })
-	r.Counter(prefix+".injected", func() int64 { return p.Stats.Injected })
-	r.Counter(prefix+".reinjected", func() int64 { return p.Stats.Reinjected })
-	r.Gauge(prefix+".streams", func() float64 { return float64(len(p.queues)) })
-	r.Gauge(prefix+".registrations", func() float64 { return float64(len(p.registry)) })
+	r.Counter(prefix+".intercepted", func() int64 { return p.Stats.Intercepted.Load() })
+	r.Counter(prefix+".filtered", func() int64 { return p.Stats.Filtered.Load() })
+	r.Counter(prefix+".dropped_by_filter", func() int64 { return p.Stats.DroppedByFilter.Load() })
+	r.Counter(prefix+".injected", func() int64 { return p.Stats.Injected.Load() })
+	r.Counter(prefix+".reinjected", func() int64 { return p.Stats.Reinjected.Load() })
+	r.Gauge(prefix+".streams", func() float64 { return float64(p.QueueCount()) })
+	r.Gauge(prefix+".registrations", func() float64 { return float64(p.RegistrationCount()) })
+}
+
+// QueueCount returns the number of live filter queues (streams). Safe
+// from any goroutine.
+func (p *Proxy) QueueCount() int64 { return p.nQueues.Load() }
+
+// RegistrationCount returns the stream-registry size. Safe from any
+// goroutine.
+func (p *Proxy) RegistrationCount() int64 { return p.nRegs.Load() }
+
+// noteSizes refreshes the atomic mirrors of len(queues)/len(registry);
+// called by the owning goroutine after every mutation.
+func (p *Proxy) noteSizes() {
+	p.nQueues.Store(int64(len(p.queues)))
+	p.nRegs.Store(int64(len(p.registry)))
 }
 
 // --- filter.Env -------------------------------------------------------------
@@ -155,6 +218,7 @@ func (p *Proxy) Attach(k filter.Key, h filter.Hooks) (func(), error) {
 	if q == nil {
 		q = &queue{key: k}
 		p.queues[k] = q
+		p.noteSizes()
 	}
 	a := &attachment{hooks: h, seq: p.seq}
 	p.seq++
@@ -181,6 +245,7 @@ func (p *Proxy) detach(q *queue, a *attachment) {
 	}
 	if len(q.attached) == 0 {
 		delete(p.queues, q.key)
+		p.noteSizes()
 		p.obs.Emit("proxy", "queue-teardown", q.key.String(),
 			obs.F("pkts", q.pkts), obs.F("bytes", q.bytes))
 	}
@@ -193,6 +258,7 @@ func (p *Proxy) RemoveStream(k filter.Key) {
 		return
 	}
 	delete(p.queues, k)
+	p.noteSizes()
 	for _, a := range q.attached {
 		if a.hooks.OnClose != nil {
 			a.hooks.OnClose()
@@ -204,7 +270,7 @@ func (p *Proxy) RemoveStream(k filter.Key) {
 
 // Inject implements filter.Env: emit a raw datagram from the proxy.
 func (p *Proxy) Inject(raw []byte) {
-	p.Stats.Injected++
+	p.Stats.Injected.Add(1)
 	p.node.InjectPacket(raw)
 }
 
@@ -250,6 +316,14 @@ func (p *Proxy) Spawn(name string, k filter.Key, args []string) error {
 
 // --- interception path -------------------------------------------------------
 
+// Intercept runs the interception path on one raw datagram exactly as
+// the node packet hook would. The sharded data plane calls it from
+// shard workers (in may be nil — the path ignores it); the returned
+// emit slice is borrowed, valid until the proxy's next interception.
+func (p *Proxy) Intercept(raw []byte, in *netsim.Iface) [][]byte {
+	return p.intercept(raw, in)
+}
+
 // intercept is the node packet hook: parse, match, build queues on
 // demand, run the in and out queues, and reinject. The steady-state
 // pass-through path (no matching service, or a clean traversal of the
@@ -258,7 +332,7 @@ func (p *Proxy) Spawn(name string, k filter.Key, args []string) error {
 // slice is the proxy's reusable emit list, valid until the next
 // interception.
 func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
-	p.Stats.Intercepted++
+	p.Stats.Intercepted.Add(1)
 	for i := range p.emit {
 		p.emit[i] = nil // drop references from the previous packet
 	}
@@ -280,7 +354,7 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 		p.emit = append(p.emit, raw)
 		return p.emit
 	}
-	p.Stats.Filtered++
+	p.Stats.Filtered.Add(1)
 	q.pkts++
 	q.bytes += int64(len(raw))
 
@@ -300,7 +374,7 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 	}
 
 	if pkt.Dropped() {
-		p.Stats.DroppedByFilter++
+		p.Stats.DroppedByFilter.Add(1)
 		p.obs.Emit("proxy", "filter-drop", q.key.String(), obs.F("len", len(raw)))
 	} else {
 		if pkt.Dirty() {
@@ -311,11 +385,11 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 				p.Logf("proxy: remarshal of dirty packet failed: %v", err)
 			}
 		}
-		p.Stats.Reinjected++
+		p.Stats.Reinjected.Add(1)
 		p.emit = append(p.emit, pkt.Raw)
 	}
 	for _, extra := range pkt.Injections() {
-		p.Stats.Injected++
+		p.Stats.Injected.Add(1)
 		p.emit = append(p.emit, extra)
 	}
 	pkt.Release()
@@ -425,6 +499,7 @@ func (p *Proxy) UnloadFilter(name string) error {
 		}
 	}
 	p.registry = keep
+	p.noteSizes()
 	p.removeAttachments(name, func(filter.Key) bool { return true })
 	return nil
 }
@@ -450,12 +525,14 @@ func (p *Proxy) AddFilter(name string, k filter.Key, args []string) error {
 	// matching packet.
 	saved := p.negCache
 	p.registry = append(p.registry, &registration{key: k, factory: f, args: args})
+	p.noteSizes()
 	// A new registration can turn cached negative matches stale;
 	// removals (delete/remove) never can, so only adds invalidate.
 	p.invalidateMatchCache()
 	if !k.IsWild() {
 		if err := f.New(p, k, args); err != nil {
 			p.registry = p.registry[:len(p.registry)-1]
+			p.noteSizes()
 			p.negCache = saved
 			return err
 		}
@@ -492,6 +569,7 @@ func (p *Proxy) DeleteFilter(name string, k filter.Key) error {
 		keep = append(keep, r)
 	}
 	p.registry = keep
+	p.noteSizes()
 	// Remove attachments on the exact key and its reverse (filters
 	// conventionally attach both directions), or on all matching keys
 	// for a wild-card delete.
@@ -530,6 +608,7 @@ func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
 		q.attached = kept
 		if len(q.attached) == 0 {
 			delete(p.queues, qk)
+			p.noteSizes()
 			p.obs.Emit("proxy", "queue-teardown", qk.String(),
 				obs.F("pkts", q.pkts), obs.F("bytes", q.bytes))
 		}
@@ -540,11 +619,22 @@ func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
 // just the named one), list the exact stream keys it services, in the
 // format of thesis Fig 5.3.
 func (p *Proxy) Report(name string) (string, error) {
+	names, perFilter, err := p.ReportData(name)
+	if err != nil {
+		return "", err
+	}
+	return RenderReport(names, perFilter), nil
+}
+
+// ReportData gathers the raw report listing: the filter names to show
+// (sorted) and, per filter, the stream keys it services. The sharded
+// data plane merges the per-shard maps before rendering.
+func (p *Proxy) ReportData(name string) ([]string, map[string][]string, error) {
 	if name != "" {
 		_, isFilter := p.pool[name]
 		_, isSvc := p.services[name]
 		if !isFilter && !isSvc {
-			return "", fmt.Errorf("proxy: filter %q not loaded", name)
+			return nil, nil, fmt.Errorf("proxy: filter %q not loaded", name)
 		}
 	}
 	// Gather keys per filter: live attachments plus wild-card
@@ -573,6 +663,13 @@ func (p *Proxy) Report(name string) (string, error) {
 		}
 		sort.Strings(names)
 	}
+	return names, perFilter, nil
+}
+
+// RenderReport renders ReportData output in the Fig 5.3 format: each
+// filter name on its own line, its (sorted, deduplicated) stream keys
+// tab-indented beneath it.
+func RenderReport(names []string, perFilter map[string][]string) string {
 	var b strings.Builder
 	for _, n := range names {
 		keys := perFilter[n]
@@ -583,7 +680,7 @@ func (p *Proxy) Report(name string) (string, error) {
 			fmt.Fprintf(&b, "\t%s\n", k)
 		}
 	}
-	return b.String(), nil
+	return b.String()
 }
 
 func dedup(s []string) []string {
