@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench bench-shard obs-determinism verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard obs-determinism chaos verify
 
 build:
 	$(GO) build ./...
@@ -68,5 +68,16 @@ obs-determinism:
 	@$(GO) run ./cmd/wsim -events -seed 7 > /tmp/obs-run2.txt
 	@cmp /tmp/obs-run1.txt /tmp/obs-run2.txt && echo "obs-determinism: OK"
 
-verify: build test vet fmt-check obs-determinism
+# Chaos soak: the fault-injection scenario under the race detector,
+# then two separate processes with the same seed whose full outputs
+# (per-leg results, event log, metrics) must be byte-identical. The
+# scenario itself asserts transfer integrity, filter quarantine, EEM
+# client recovery, and control-plane liveness.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faults
+	@$(GO) run ./cmd/wsim -chaos -seed 11 > /tmp/chaos-run1.txt
+	@$(GO) run ./cmd/wsim -chaos -seed 11 > /tmp/chaos-run2.txt
+	@cmp /tmp/chaos-run1.txt /tmp/chaos-run2.txt && echo "chaos: OK"
+
+verify: build test vet fmt-check obs-determinism chaos
 	@echo "verify: OK"

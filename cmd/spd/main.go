@@ -21,10 +21,12 @@ import (
 	_ "net/http/pprof"
 	"runtime"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/proxy"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 )
@@ -114,11 +116,30 @@ func serveDebug(addr string, rt *sim.Realtime, metrics *obs.Registry) {
 	}()
 }
 
+// serve runs one control session under the same bounds as the
+// simulated control port (proxy.serveControlConn): lines are capped at
+// proxy.MaxControlLine (an unframed flood gets a diagnostic and the
+// session is severed), non-UTF-8 lines are rejected but the session
+// lives, and a session idle past proxy.ControlIdleTimeout is dropped.
 func serve(conn net.Conn, rt *sim.Realtime, sys *core.System) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	for sc.Scan() {
+	sc.Buffer(make([]byte, 0, 512), proxy.MaxControlLine)
+	for {
+		conn.SetReadDeadline(time.Now().Add(proxy.ControlIdleTimeout))
+		if !sc.Scan() {
+			if sc.Err() == bufio.ErrTooLong {
+				fmt.Fprintf(conn, "error: command line exceeds %d bytes\n", proxy.MaxControlLine)
+			}
+			return
+		}
 		line := sc.Text()
+		if !utf8.ValidString(line) {
+			if _, err := conn.Write([]byte("error: command line is not valid UTF-8\n")); err != nil {
+				return
+			}
+			continue
+		}
 		var out string
 		rt.DoSync(func() { out = sys.Plane.Command(line) })
 		if out != "" {

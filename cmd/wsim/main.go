@@ -9,6 +9,8 @@
 //	wsim -all              run every experiment in order
 //	wsim -events           run the observability demo (full event log
 //	                       + metrics snapshot; byte-identical per seed)
+//	wsim -chaos            run the chaos soak (fault matrix + resilience
+//	                       assertions; byte-identical per seed)
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -24,7 +27,8 @@ func main() {
 	exp := flag.String("exp", "", "run one experiment by id (e.g. E7)")
 	all := flag.Bool("all", false, "run every experiment")
 	events := flag.Bool("events", false, "run the observability demo scenario")
-	seed := flag.Int64("seed", 7, "simulation seed for -events")
+	chaos := flag.Bool("chaos", false, "run the chaos soak scenario (fault injection)")
+	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos")
 	flag.Parse()
 
 	switch {
@@ -41,6 +45,11 @@ func main() {
 		experiments.RunAll(os.Stdout)
 	case *events:
 		if err := experiments.ObsDemo(*seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *chaos:
+		if err := faults.Chaos(*seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

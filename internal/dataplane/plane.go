@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/filter"
 	"repro/internal/netsim"
@@ -37,6 +38,9 @@ type Plane struct {
 	// observes epoch E is guaranteed every shard has applied mutations
 	// 1..E: the counter is bumped only after the quiesce barrier.
 	epoch atomic.Uint64
+
+	// watchdogTrips counts shard-stall detections (concurrent mode).
+	watchdogTrips atomic.Int64
 
 	closed bool
 }
@@ -205,6 +209,87 @@ func (pl *Plane) Close() {
 	}
 }
 
+// --- shard watchdog ----------------------------------------------------------
+
+// StartWatchdog launches a wall-clock monitor over the concurrent
+// shards: a shard that holds backlog (ring packets or queued control
+// messages) across a full interval without processing anything is
+// flagged stalled, counted in WatchdogTrips, and nudged awake — which
+// also heals the one benign cause, a lost wakeup. The flag clears on
+// its own when the shard makes progress again. Inline planes run on
+// the caller's goroutine and cannot stall independently, so the
+// watchdog is a no-op there. Returns a stop function (idempotent).
+func (pl *Plane) StartWatchdog(interval time.Duration) (stop func()) {
+	if pl.inline() {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	stopCh := make(chan struct{})
+	var once sync.Once
+	last := make([]int64, len(pl.workers))
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				for i, w := range pl.workers {
+					p := w.processed.Load()
+					backlog := w.ring.len() > 0 || len(w.ctrl) > 0
+					if backlog && p == last[i] {
+						if !w.stalled.Swap(true) {
+							pl.watchdogTrips.Add(1)
+						}
+						w.wakeup()
+					} else if p != last[i] || !backlog {
+						w.stalled.Store(false)
+					}
+					last[i] = p
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stopCh) }) }
+}
+
+// StalledShards returns the indices currently flagged by the watchdog,
+// in order. Empty on a healthy (or inline) plane.
+func (pl *Plane) StalledShards() []int {
+	var out []int
+	for i, w := range pl.workers {
+		if w.stalled.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WatchdogTrips returns the cumulative number of stall detections.
+func (pl *Plane) WatchdogTrips() int64 { return pl.watchdogTrips.Load() }
+
+// InjectStall wedges shard i's goroutine for d at its next packet
+// boundary — the fault-injection primitive the watchdog tests and the
+// chaos harness use. Fire-and-forget: the caller is not blocked for
+// the stall's duration. No-op in inline mode.
+func (pl *Plane) InjectStall(i int, d time.Duration) {
+	if pl.inline() {
+		return
+	}
+	pl.workers[i].send(ctrlMsg{fn: func(*proxy.Proxy) { time.Sleep(d) }})
+}
+
+// Processed returns shard i's count of fully intercepted packets.
+func (pl *Plane) Processed(i int) int64 {
+	if pl.inline() {
+		return pl.shards[i].Stats.Intercepted.Load()
+	}
+	return pl.workers[i].processed.Load()
+}
+
 // --- epoch/quiesce control protocol ------------------------------------------
 
 // do runs fn against every shard's proxy and returns when all have
@@ -317,6 +402,10 @@ func (pl *Plane) RegisterMetrics(r *obs.Registry, prefix string) {
 	})
 	r.Gauge(prefix+".shards", func() float64 { return float64(pl.n) })
 	r.Counter(prefix+".epoch", func() int64 { return int64(pl.Epoch()) })
+	if !pl.inline() {
+		r.Counter(prefix+".watchdog_trips", func() int64 { return pl.WatchdogTrips() })
+		r.Gauge(prefix+".stalled_shards", func() float64 { return float64(len(pl.StalledShards())) })
+	}
 	for i, s := range pl.shards {
 		s := s
 		sp := fmt.Sprintf("%s.shard%d", prefix, i)

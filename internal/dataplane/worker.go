@@ -8,8 +8,10 @@ import (
 )
 
 // ctrlMsg is one control-plane operation executed by the shard
-// goroutine between packets. done is signalled after fn returns, so a
-// broadcast that waits on every shard's done is a full quiesce point.
+// goroutine between packets. done, when non-nil, is signalled after fn
+// returns, so a broadcast that waits on every shard's done is a full
+// quiesce point; fire-and-forget messages (fault injection) leave it
+// nil.
 type ctrlMsg struct {
 	fn   func(p *proxy.Proxy)
 	done *sync.WaitGroup
@@ -32,6 +34,13 @@ type worker struct {
 
 	// stalls counts dispatcher spins on a full ring (backpressure).
 	stalls atomic.Int64
+
+	// processed counts packets fully intercepted; the watchdog reads
+	// it to distinguish a busy shard from a wedged one.
+	processed atomic.Int64
+	// stalled is the watchdog's verdict: backlog with no progress over
+	// a full observation interval. Cleared when progress resumes.
+	stalled atomic.Bool
 }
 
 // wakeup nudges a possibly-parked worker; a full wake buffer means a
@@ -60,7 +69,9 @@ func (w *worker) run() {
 		select {
 		case m := <-w.ctrl:
 			m.fn(w.prox)
-			m.done.Done()
+			if m.done != nil {
+				m.done.Done()
+			}
 			continue
 		default:
 		}
@@ -71,7 +82,9 @@ func (w *worker) run() {
 		select {
 		case m := <-w.ctrl:
 			m.fn(w.prox)
-			m.done.Done()
+			if m.done != nil {
+				m.done.Done()
+			}
 		case <-w.wake:
 		case <-w.stop:
 			for {
@@ -90,4 +103,5 @@ func (w *worker) deliver(raw []byte) {
 	if w.sink != nil {
 		w.sink(w.idx, out)
 	}
+	w.processed.Add(1)
 }

@@ -3,6 +3,11 @@ package eem
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Dialer opens a protocol stream to a named EEM server. The client
@@ -15,12 +20,22 @@ import (
 // bytes (wire it to the transport's receive callback).
 type Dialer func(server string) (conn Conn, wire func(onData func([]byte)), err error)
 
+// CloseNotifier is an optional extension of Conn: transports that can
+// detect their stream dying (reset, teardown) implement it so the
+// client evicts the connection the moment it goes down instead of
+// discovering the corpse on the next write.
+type CloseNotifier interface {
+	// OnDown arms fn to run once when the stream goes down.
+	OnDown(fn func())
+}
+
 // pdaEntry is one slot of the protected data area (thesis §6.2).
 type pdaEntry struct {
 	val       Value
 	inRange   bool
 	changed   bool // set on update, cleared by Value()
 	haveValue bool
+	stale     bool // server lost since the value arrived
 }
 
 // Client is the EEM client library (thesis comma_* interface). All
@@ -33,20 +48,34 @@ type Client struct {
 	cb      func(ID, Value) // interrupt-style callback
 	nextSeq int64
 	polls   map[int64]func(Value, error)
+	pollSrv map[int64]string // seq → server, to fail polls on disconnect
 	listReq map[int64]func([]string)
 	closed  bool
+
+	// interests mirrors every live registration so the supervisor can
+	// replay them on a fresh connection after the server comes back.
+	interests map[ID]Attr
+
+	sup *supervisor
+	obs *obs.Bus
 }
 
 // NewClient initializes the client library (comma_init).
 func NewClient(dial Dialer) *Client {
 	return &Client{
-		dial:    dial,
-		conns:   make(map[string]Conn),
-		pda:     make(map[ID]*pdaEntry),
-		polls:   make(map[int64]func(Value, error)),
-		listReq: make(map[int64]func([]string)),
+		dial:      dial,
+		conns:     make(map[string]Conn),
+		pda:       make(map[ID]*pdaEntry),
+		polls:     make(map[int64]func(Value, error)),
+		pollSrv:   make(map[int64]string),
+		listReq:   make(map[int64]func([]string)),
+		interests: make(map[ID]Attr),
 	}
 }
+
+// SetObs attaches the observability bus; connection-lifecycle events
+// are emitted under the "eem-client" subsystem, keyed by server name.
+func (c *Client) SetObs(b *obs.Bus) { c.obs = b }
 
 // SetCallback installs the interrupt-notification callback
 // (comma_setcallback). Registrations made with Attr.Interrupt deliver
@@ -78,42 +107,105 @@ func (c *Client) connTo(server string) (Conn, error) {
 	wire(func(data []byte) {
 		lb.feed(data, func(line []byte) { c.handleLine(server, line) })
 	})
+	if n, ok := conn.(CloseNotifier); ok {
+		n.OnDown(func() { c.noteDisconnect(server) })
+	}
 	c.conns[server] = conn
 	return conn, nil
+}
+
+// writeTo sends msg on the (freshly dialed if needed) stream to
+// server. Any failure evicts the cached connection so the next call
+// redials instead of reusing a dead conn.
+func (c *Client) writeTo(server string, msg []byte) error {
+	conn, err := c.connTo(server)
+	if err != nil {
+		if c.sup != nil {
+			c.sup.scheduleRedial(c, server)
+		}
+		return err
+	}
+	if err := conn.Write(msg); err != nil {
+		c.noteDisconnect(server)
+		return fmt.Errorf("eem: write to %s: %w", server, err)
+	}
+	return nil
+}
+
+// noteDisconnect evicts the cached connection to server, marks the
+// server's protected-data-area entries stale, and fails its pending
+// polls. Safe to call repeatedly; the supervisor (if any) owns the
+// redial schedule.
+func (c *Client) noteDisconnect(server string) {
+	if c.closed {
+		return
+	}
+	if conn, ok := c.conns[server]; ok {
+		delete(c.conns, server)
+		conn.Close()
+		for id, e := range c.pda {
+			if id.Server == server {
+				e.stale = true
+			}
+		}
+		// Outstanding polls on this stream will never be answered;
+		// fail them now, in seq order for reproducible callback order.
+		var seqs []int64
+		for seq, srv := range c.pollSrv {
+			if srv == server {
+				seqs = append(seqs, seq)
+			}
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			fn := c.polls[seq]
+			delete(c.polls, seq)
+			delete(c.pollSrv, seq)
+			if fn != nil {
+				fn(Value{}, fmt.Errorf("eem: connection to %s lost", server))
+			}
+		}
+		c.obs.Emit("eem-client", "conn-down", server)
+	}
+	if c.sup != nil {
+		c.sup.scheduleRedial(c, server)
+	}
 }
 
 // Register asks id's server to watch the variable under attr
 // (comma_var_register). Updates land silently in the protected data
 // area; if attr.Interrupt is set the callback also fires on entry to
-// the region.
+// the region. The interest is remembered even if the server is
+// currently unreachable: a supervising client re-registers it once
+// the connection comes back.
 func (c *Client) Register(id ID, attr Attr) error {
-	conn, err := c.connTo(id.Server)
-	if err != nil {
-		return err
-	}
+	c.interests[id] = attr
 	if _, ok := c.pda[id]; !ok {
 		c.pda[id] = &pdaEntry{}
 	}
-	return conn.Write(encodeMsg(wireMsg{Kind: msgRegister, ID: id, A: attr}))
+	return c.writeTo(id.Server, encodeMsg(wireMsg{Kind: msgRegister, ID: id, A: attr}))
 }
 
 // Deregister removes one registration (comma_var_deregister).
 func (c *Client) Deregister(id ID) error {
-	conn, err := c.connTo(id.Server)
-	if err != nil {
-		return err
-	}
+	delete(c.interests, id)
 	delete(c.pda, id)
-	return conn.Write(encodeMsg(wireMsg{Kind: msgDeregister, ID: id}))
+	return c.writeTo(id.Server, encodeMsg(wireMsg{Kind: msgDeregister, ID: id}))
 }
 
 // DeregisterAll removes every registration on every server
 // (comma_var_deregisterall).
 func (c *Client) DeregisterAll() {
-	for _, conn := range c.conns {
-		conn.Write(encodeMsg(wireMsg{Kind: msgDeregisterAll}))
+	servers := make([]string, 0, len(c.conns))
+	for s := range c.conns {
+		servers = append(servers, s)
+	}
+	sort.Strings(servers)
+	for _, s := range servers {
+		c.writeTo(s, encodeMsg(wireMsg{Kind: msgDeregisterAll}))
 	}
 	c.pda = make(map[ID]*pdaEntry)
+	c.interests = make(map[ID]Attr)
 }
 
 // Value returns the most recent value from the protected data area
@@ -126,6 +218,14 @@ func (c *Client) Value(id ID) (Value, bool) {
 	}
 	e.changed = false
 	return e.val, true
+}
+
+// Stale reports whether id's protected-data-area value predates a
+// disconnect from its server — still readable, but possibly outdated.
+// It clears when fresh data arrives after the reconnect.
+func (c *Client) Stale(id ID) bool {
+	e, ok := c.pda[id]
+	return ok && e.stale
 }
 
 // InRange reports whether the most recent update had the variable
@@ -145,14 +245,26 @@ func (c *Client) HasChanged(id ID) bool {
 // PollOnce retrieves a single value directly from the server
 // (comma_query_getvalue_once). The reply is delivered asynchronously
 // to fn — the event-driven rendering of the thesis's synchronous call.
+// If the connection dies before the reply, fn receives an error.
 func (c *Client) PollOnce(id ID, fn func(Value, error)) error {
 	conn, err := c.connTo(id.Server)
 	if err != nil {
+		if c.sup != nil {
+			c.sup.scheduleRedial(c, id.Server)
+		}
 		return err
 	}
 	c.nextSeq++
-	c.polls[c.nextSeq] = fn
-	return conn.Write(encodeMsg(wireMsg{Kind: msgPoll, Seq: c.nextSeq, ID: id}))
+	seq := c.nextSeq
+	c.polls[seq] = fn
+	c.pollSrv[seq] = id.Server
+	if err := conn.Write(encodeMsg(wireMsg{Kind: msgPoll, Seq: seq, ID: id})); err != nil {
+		delete(c.polls, seq)
+		delete(c.pollSrv, seq)
+		c.noteDisconnect(id.Server)
+		return fmt.Errorf("eem: write to %s: %w", id.Server, err)
+	}
+	return nil
 }
 
 // ListVariables asks a server for its variable catalogue (Kati's
@@ -160,11 +272,20 @@ func (c *Client) PollOnce(id ID, fn func(Value, error)) error {
 func (c *Client) ListVariables(server string, fn func([]string)) error {
 	conn, err := c.connTo(server)
 	if err != nil {
+		if c.sup != nil {
+			c.sup.scheduleRedial(c, server)
+		}
 		return err
 	}
 	c.nextSeq++
-	c.listReq[c.nextSeq] = fn
-	return conn.Write(encodeMsg(wireMsg{Kind: msgListVars, Seq: c.nextSeq}))
+	seq := c.nextSeq
+	c.listReq[seq] = fn
+	if err := conn.Write(encodeMsg(wireMsg{Kind: msgListVars, Seq: seq})); err != nil {
+		delete(c.listReq, seq)
+		c.noteDisconnect(server)
+		return fmt.Errorf("eem: write to %s: %w", server, err)
+	}
+	return nil
 }
 
 // handleLine processes one inbound protocol message from server.
@@ -172,6 +293,11 @@ func (c *Client) handleLine(server string, line []byte) {
 	var m wireMsg
 	if err := json.Unmarshal(line, &m); err != nil {
 		return
+	}
+	// Any parseable message proves the server alive: reset the
+	// supervisor's backoff so the next outage starts from BaseDelay.
+	if c.sup != nil {
+		c.sup.attempt[server] = 0
 	}
 	switch m.Kind {
 	case msgUpdate:
@@ -192,6 +318,7 @@ func (c *Client) handleLine(server string, line []byte) {
 			e.val = u.V
 			e.haveValue = true
 			e.inRange = true
+			e.stale = false
 		}
 	case msgNotify:
 		id := m.ID
@@ -202,6 +329,7 @@ func (c *Client) handleLine(server string, line []byte) {
 			e.val = m.V
 			e.haveValue = true
 			e.inRange = true
+			e.stale = false
 		}
 		if c.cb != nil {
 			c.cb(id, m.V)
@@ -212,6 +340,7 @@ func (c *Client) handleLine(server string, line []byte) {
 			return
 		}
 		delete(c.polls, m.Seq)
+		delete(c.pollSrv, m.Seq)
 		if m.Err != "" {
 			fn(Value{}, fmt.Errorf("eem: %s", m.Err))
 		} else {
@@ -225,4 +354,113 @@ func (c *Client) handleLine(server string, line []byte) {
 	case msgError:
 		// Server rejected something; surfaced via logs in callers.
 	}
+}
+
+// SuperviseConfig tunes the client's reconnection supervisor.
+type SuperviseConfig struct {
+	// BaseDelay is the first redial delay after a disconnect
+	// (default 500ms); successive failures double it.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 15s).
+	MaxDelay time.Duration
+}
+
+type supervisor struct {
+	sched   *sim.Scheduler
+	cfg     SuperviseConfig
+	pending map[string]bool
+	attempt map[string]int
+}
+
+// Supervise attaches a reconnection supervisor driven by the given
+// scheduler: when a connection dies the client redials with
+// exponential backoff and jitter drawn from the scheduler's seeded RNG
+// (deterministic per seed, yet de-synchronized across clients), and
+// replays every registration held on that server once a redial sticks.
+// PDA entries stay readable but report Stale until fresh data arrives.
+func (c *Client) Supervise(sched *sim.Scheduler, cfg SuperviseConfig) {
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 500 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 15 * time.Second
+	}
+	c.sup = &supervisor{
+		sched:   sched,
+		cfg:     cfg,
+		pending: make(map[string]bool),
+		attempt: make(map[string]int),
+	}
+}
+
+// backoff computes the next redial delay for server: exponential in
+// the consecutive-failure count, capped at MaxDelay, with ±25% jitter
+// so a fleet of clients doesn't stampede a restarting server.
+func (s *supervisor) backoff(server string) time.Duration {
+	d := s.cfg.BaseDelay
+	for i := 0; i < s.attempt[server] && d < s.cfg.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > s.cfg.MaxDelay {
+		d = s.cfg.MaxDelay
+	}
+	jitter := 0.75 + s.sched.Rand().Float64()/2
+	return time.Duration(float64(d) * jitter)
+}
+
+// scheduleRedial arms (at most one) pending redial timer for server.
+func (s *supervisor) scheduleRedial(c *Client, server string) {
+	if s.pending[server] {
+		return
+	}
+	s.pending[server] = true
+	d := s.backoff(server)
+	s.attempt[server]++
+	c.obs.Emit("eem-client", "redial-scheduled", server,
+		obs.F("attempt", s.attempt[server]), obs.F("delay_ms", d.Milliseconds()))
+	s.sched.After(d, func() {
+		s.pending[server] = false
+		if c.closed {
+			return
+		}
+		if _, ok := c.conns[server]; ok {
+			return // something else already reconnected
+		}
+		if err := c.reconnect(server); err != nil {
+			c.obs.Emit("eem-client", "redial-failed", server)
+			s.scheduleRedial(c, server)
+		}
+	})
+}
+
+// reconnect redials server and replays its registrations in a
+// deterministic (var, index) order.
+func (c *Client) reconnect(server string) error {
+	conn, err := c.connTo(server)
+	if err != nil {
+		return err
+	}
+	c.obs.Emit("eem-client", "reconnected", server)
+	ids := make([]ID, 0, len(c.interests))
+	for id := range c.interests {
+		if id.Server == server {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Var != ids[j].Var {
+			return ids[i].Var < ids[j].Var
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	for _, id := range ids {
+		if err := conn.Write(encodeMsg(wireMsg{Kind: msgRegister, ID: id, A: c.interests[id]})); err != nil {
+			c.noteDisconnect(server)
+			return err
+		}
+	}
+	if len(ids) > 0 {
+		c.obs.Emit("eem-client", "re-register", server, obs.F("count", len(ids)))
+	}
+	return nil
 }

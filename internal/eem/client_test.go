@@ -1,0 +1,226 @@
+package eem_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/eem"
+	"repro/internal/obs"
+)
+
+// fakeConn is an in-memory Conn whose writes can be made to fail,
+// standing in for a TCP stream that died mid-session.
+type fakeConn struct {
+	wrote      int
+	failWrites bool
+	closed     bool
+}
+
+func (f *fakeConn) Write(b []byte) error {
+	if f.failWrites {
+		return errors.New("broken pipe")
+	}
+	f.wrote++
+	return nil
+}
+
+func (f *fakeConn) Close() { f.closed = true }
+
+// TestDeadConnEvictedOnWriteError is the regression test for the
+// connection-cache poisoning bug: before the fix, a conn whose Write
+// failed stayed in the client's cache forever, so every later call to
+// the same server reused the corpse and failed. Now a write error
+// evicts the conn and the next call redials.
+func TestDeadConnEvictedOnWriteError(t *testing.T) {
+	dials := 0
+	var conns []*fakeConn
+	dial := func(server string) (eem.Conn, func(func([]byte)), error) {
+		dials++
+		c := &fakeConn{}
+		conns = append(conns, c)
+		return c, func(func([]byte)) {}, nil
+	}
+	c := eem.NewClient(dial)
+	id := eem.ID{Server: "srv", Var: "sysUpTime"}
+
+	if err := c.Register(id, eem.Attr{}); err != nil {
+		t.Fatal(err)
+	}
+	if dials != 1 {
+		t.Fatalf("dials = %d after first register, want 1", dials)
+	}
+
+	// The stream dies; the next write must fail ...
+	conns[0].failWrites = true
+	if err := c.Register(id, eem.Attr{}); err == nil {
+		t.Fatal("register on a dead conn did not error")
+	}
+	if !conns[0].closed {
+		t.Fatal("dead conn was not closed on eviction")
+	}
+	// ... and the one after must redial rather than reuse the corpse.
+	// Pre-fix this fails: dials stays 1 and the write errors forever.
+	if err := c.Register(id, eem.Attr{}); err != nil {
+		t.Fatalf("register after eviction: %v (conn not evicted?)", err)
+	}
+	if dials != 2 {
+		t.Fatalf("dials = %d after eviction, want 2 (redial)", dials)
+	}
+}
+
+// TestDisconnectFailsPendingPolls pins that polls outstanding on a
+// connection that dies receive an error callback instead of hanging
+// forever.
+func TestDisconnectFailsPendingPolls(t *testing.T) {
+	var cur *fakeConn
+	dial := func(server string) (eem.Conn, func(func([]byte)), error) {
+		cur = &fakeConn{}
+		return cur, func(func([]byte)) {}, nil
+	}
+	c := eem.NewClient(dial)
+	id := eem.ID{Server: "srv", Var: "ifInOctets"}
+
+	var pollErr error
+	called := false
+	if err := c.PollOnce(id, func(_ eem.Value, err error) { called = true; pollErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("poll callback fired before any reply")
+	}
+	// The conn dies, detected by the next write.
+	cur.failWrites = true
+	if err := c.Register(id, eem.Attr{}); err == nil {
+		t.Fatal("register on dead conn did not error")
+	}
+	if !called {
+		t.Fatal("pending poll not failed on disconnect")
+	}
+	if pollErr == nil {
+		t.Fatal("pending poll failed without an error")
+	}
+}
+
+// TestStaleOnDialFailure: values remain readable but are flagged stale
+// once the server's connection is lost.
+func TestStaleTracksDisconnect(t *testing.T) {
+	var cur *fakeConn
+	dial := func(server string) (eem.Conn, func(func([]byte)), error) {
+		cur = &fakeConn{}
+		return cur, func(func([]byte)) {}, nil
+	}
+	c := eem.NewClient(dial)
+	id := eem.ID{Server: "srv", Var: "sysUpTime"}
+	if err := c.Register(id, eem.Attr{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stale(id) {
+		t.Fatal("fresh registration already stale")
+	}
+	cur.failWrites = true
+	c.Register(id, eem.Attr{}) // write fails, conn evicted
+	if !c.Stale(id) {
+		t.Fatal("entry not stale after its server's conn died")
+	}
+}
+
+// TestSuperviseReconnectsAndReRegisters runs the full resilience loop
+// against a simulated server: register, crash the server, observe
+// staleness, restart it, and verify the supervisor redials,
+// re-registers the interest, and fresh updates clear the stale flag —
+// all without the application doing anything.
+func TestSuperviseReconnectsAndReRegisters(t *testing.T) {
+	r := newEEMRig(t, time.Second)
+	bus := obs.NewBus(r.sched, 4096)
+	r.client.SetObs(bus)
+	r.client.Supervise(r.sched, eem.SuperviseConfig{
+		BaseDelay: 200 * time.Millisecond,
+		MaxDelay:  2 * time.Second,
+	})
+	id := sysUpTimeID(r.serverAddr)
+	attr := eem.Attr{Lower: eem.LongValue(0), Upper: eem.LongValue(1 << 40), Op: eem.IN}
+	if err := r.client.Register(id, attr); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(3 * time.Second)
+	if _, ok := r.client.Value(id); !ok {
+		t.Fatal("no value before the crash")
+	}
+	if r.client.Stale(id) {
+		t.Fatal("value stale while the server is healthy")
+	}
+
+	r.server.Crash()
+	r.sched.RunFor(2 * time.Second)
+	if !r.client.Stale(id) {
+		t.Fatal("value not stale after server crash")
+	}
+	if _, ok := r.client.Value(id); !ok {
+		t.Fatal("stale value must remain readable")
+	}
+
+	r.server.Restart()
+	r.sched.RunFor(15 * time.Second)
+	if r.client.Stale(id) {
+		t.Fatal("value still stale after restart + supervision window")
+	}
+	if !r.client.HasChanged(id) {
+		t.Fatal("no fresh update after reconnect")
+	}
+
+	kinds := map[string]int{}
+	for _, e := range bus.Events() {
+		if e.Subsys == "eem-client" {
+			kinds[e.Kind]++
+		}
+	}
+	for _, k := range []string{"conn-down", "redial-scheduled", "reconnected", "re-register"} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %q event recorded; got %v", k, kinds)
+		}
+	}
+}
+
+// TestSuperviseBackoffGrows pins the exponential part of the redial
+// policy: while the server stays dead, consecutive redial delays grow
+// (modulo ±25%% jitter) toward the cap rather than hammering at a
+// fixed rate.
+func TestSuperviseBackoffGrows(t *testing.T) {
+	r := newEEMRig(t, time.Second)
+	bus := obs.NewBus(r.sched, 4096)
+	r.client.SetObs(bus)
+	r.client.Supervise(r.sched, eem.SuperviseConfig{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  5 * time.Second,
+	})
+	id := sysUpTimeID(r.serverAddr)
+	if err := r.client.Register(id, eem.Attr{Lower: eem.LongValue(0), Upper: eem.LongValue(1 << 40), Op: eem.IN}); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(2 * time.Second)
+	r.server.Crash()
+	r.sched.RunFor(30 * time.Second)
+
+	var attempts []int
+	for _, e := range bus.Events() {
+		if e.Subsys != "eem-client" || e.Kind != "redial-scheduled" {
+			continue
+		}
+		for _, f := range e.Fields {
+			if f.K == "attempt" {
+				attempts = append(attempts, len(attempts))
+			}
+		}
+	}
+	if len(attempts) < 4 {
+		t.Fatalf("only %d redials in 30s of outage, supervisor stalled?", len(attempts))
+	}
+	// With base 100ms doubling toward a 5s cap, 30s of outage cannot
+	// fit more than ~20 attempts; an unbounded retry loop would fit
+	// hundreds. This bounds the retry rate without depending on exact
+	// jitter draws.
+	if len(attempts) > 40 {
+		t.Fatalf("%d redials in 30s — backoff not applied", len(attempts))
+	}
+}

@@ -57,6 +57,10 @@ type Server struct {
 	// Interval is the periodic check period (default 10s).
 	Interval time.Duration
 
+	// down marks a crashed server: it refuses connections and skips
+	// periodic passes until Restart.
+	down bool
+
 	// Stats.
 	Registrations int64
 	UpdatesSent   int64
@@ -116,9 +120,58 @@ func (s *Server) get(id ID) (Value, error) {
 	return src.Get(id.Var, id.Index)
 }
 
+// Crash simulates abrupt server death: every session is severed with a
+// reset (not a graceful FIN — the peer must see the crash, not a
+// shutdown), all registration state is lost, and the server refuses
+// connections and skips periodic passes until Restart.
+func (s *Server) Crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.obs.Emit("eem", "crash", s.name)
+	sessions := s.sessions
+	s.sessions = nil
+	for _, sess := range sessions {
+		abortConn(sess.conn)
+	}
+}
+
+// Restart brings a crashed server back up, empty: it accepts
+// connections again with no memory of prior sessions or
+// registrations — clients must re-register, exactly as after a real
+// process restart.
+func (s *Server) Restart() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	s.obs.Emit("eem", "restart", s.name)
+}
+
+// Down reports whether the server is crashed.
+func (s *Server) Down() bool { return s.down }
+
+// abortConn severs conn with a reset when the transport supports it
+// (crash semantics the peer detects immediately), else falls back to
+// an ordinary close.
+func abortConn(c Conn) {
+	if a, ok := c.(interface{ Abort() }); ok {
+		a.Abort()
+	} else {
+		c.Close()
+	}
+}
+
 // Accept attaches a client connection. Feed inbound bytes through the
 // returned function (wire it to the stream's data callback).
 func (s *Server) Accept(conn Conn) (onData func([]byte), onClose func()) {
+	if s.down {
+		// A crashed host answers SYNs with RST; the sim listener has
+		// already completed the handshake, so sever immediately.
+		abortConn(conn)
+		return func([]byte) {}, func() {}
+	}
 	s.nextSess++
 	sess := &session{id: s.nextSess, conn: conn}
 	s.sessions = append(s.sessions, sess)
@@ -192,6 +245,9 @@ func (s *Server) handleLine(sess *session, line []byte) {
 // across clients is identical run-to-run under one seed — part of the
 // sim package's reproducibility promise.
 func (s *Server) Tick() {
+	if s.down {
+		return
+	}
 	for _, sess := range s.sessions {
 		var batch []varUpdate
 		for _, r := range sess.regs {

@@ -17,6 +17,14 @@ type simConn struct{ c *tcp.Conn }
 func (s simConn) Write(b []byte) error { return s.c.Write(b) }
 func (s simConn) Close()               { s.c.Close() }
 
+// Abort severs the connection with a reset instead of a FIN — crash
+// semantics the peer can detect the moment the RST lands.
+func (s simConn) Abort() { s.c.Abort() }
+
+// OnDown implements CloseNotifier: fn fires when the underlying TCP
+// connection tears down for any reason (reset, timeout, close).
+func (s simConn) OnDown(fn func()) { s.c.OnClose = func(error) { fn() } }
+
 // ServeSim exposes the server on a simulated TCP stack, one protocol
 // session per accepted connection.
 func ServeSim(stack *tcp.Stack, port uint16, srv *Server) error {

@@ -170,8 +170,24 @@ func (l *Link) SetDown(down bool) {
 	l.ba.down = down
 }
 
-// Down reports whether the link is disabled.
-func (l *Link) Down() bool { return l.ab.down }
+// SetDownAB disables or re-enables only the a→b direction — an
+// asymmetric outage (e.g. the mobile can still hear the base station
+// but not reach it). Routing and transmission consult per-direction
+// state, so the reverse direction keeps flowing.
+func (l *Link) SetDownAB(down bool) { l.ab.down = down }
+
+// SetDownBA is SetDownAB for the b→a direction.
+func (l *Link) SetDownBA(down bool) { l.ba.down = down }
+
+// Down reports whether any direction of the link is disabled. With the
+// symmetric SetDown this is the familiar whole-link state; after a
+// per-direction SetDownAB/SetDownBA it means "not fully operational".
+// Use DownAB/DownBA for the per-direction truth.
+func (l *Link) Down() bool { return l.ab.down || l.ba.down }
+
+// DownAB and DownBA report per-direction disabled state.
+func (l *Link) DownAB() bool { return l.ab.down }
+func (l *Link) DownBA() bool { return l.ba.down }
 
 // SetLoss swaps the loss model of both directions at run time
 // (experiments vary wireless quality mid-run).
@@ -398,7 +414,10 @@ func (nd *Node) lookupRoute(dst ip.Addr) *Iface {
 	best := -1
 	var via *Iface
 	for _, r := range nd.routes {
-		if r.Via.link == nil || r.Via.link.Down() {
+		// Only the transmit direction matters for egress selection: a
+		// link whose reverse direction is down still carries outbound
+		// traffic (asymmetric outage).
+		if r.Via.link == nil || r.Via.dir().down {
 			continue
 		}
 		if dst.Mask(r.Prefix) == r.Dst && r.Prefix > best {
@@ -455,7 +474,7 @@ func (nd *Node) routePacket(raw []byte, dst ip.Addr, in *Iface) {
 	// dst, use that link (implicit connected route).
 	for _, f := range nd.ifaces {
 		p := f.peer()
-		if p != nil && (p.addr == dst || dst == Broadcast) && !f.link.Down() {
+		if p != nil && (p.addr == dst || dst == Broadcast) && !f.dir().down {
 			f.transmit(raw)
 			if dst == Broadcast {
 				continue

@@ -3,10 +3,13 @@ package proxy
 import (
 	"fmt"
 	"strings"
+	"time"
+	"unicode/utf8"
 
 	"repro/internal/filter"
 	"repro/internal/ip"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/tcp"
 )
 
@@ -191,29 +194,87 @@ type Commander interface {
 	Command(line string) string
 }
 
+// Control-session bounds: the control plane sits at a sensitive
+// network position, so a wedged or malicious client must not be able
+// to hold it by streaming newline-less bytes or parking a dead
+// session.
+const (
+	// MaxControlLine bounds one command line. A session that buffers
+	// this much without a newline gets a clear error and is severed;
+	// a framed line over the bound is rejected but the session lives.
+	MaxControlLine = 4096
+	// ControlIdleTimeout severs a session that completes no command
+	// line for this long. Generous enough for a human at a telnet
+	// prompt, small enough that abandoned sessions don't accumulate.
+	ControlIdleTimeout = 2 * time.Minute
+)
+
+// serveControlConn wires the shared line framing, size bounds, UTF-8
+// validation, and idle deadline of one control connection; exec runs
+// each complete, validated command line.
+func serveControlConn(stack *tcp.Stack, c *tcp.Conn, exec func(string) string) {
+	var buf []byte
+	clock := stack.Clock()
+	var idle *sim.Timer
+	armIdle := func() {
+		if idle != nil {
+			idle.Stop()
+		}
+		idle = clock.After(ControlIdleTimeout, func() { c.Abort() })
+	}
+	armIdle()
+	c.OnData = func(b []byte) {
+		buf = append(buf, b...)
+		for {
+			i := indexByte(buf, '\n')
+			if i < 0 {
+				if len(buf) > MaxControlLine {
+					// Unframed flood: no newline in sight and the
+					// buffer is past the bound. Tell the client why,
+					// then sever — buffering further is the DoS.
+					c.Write([]byte(fmt.Sprintf("error: command line exceeds %d bytes\n", MaxControlLine)))
+					idle.Stop()
+					buf = nil
+					c.Abort()
+				}
+				return
+			}
+			line := strings.TrimRight(string(buf[:i]), "\r")
+			buf = buf[i+1:]
+			armIdle()
+			if len(line) > MaxControlLine {
+				if err := c.Write([]byte(fmt.Sprintf("error: command line exceeds %d bytes\n", MaxControlLine))); err != nil {
+					return
+				}
+				continue
+			}
+			if !utf8.ValidString(line) {
+				if err := c.Write([]byte("error: command line is not valid UTF-8\n")); err != nil {
+					return
+				}
+				continue
+			}
+			if out := exec(line); out != "" {
+				if err := c.Write([]byte(out)); err != nil {
+					return
+				}
+			}
+		}
+	}
+	c.OnRemoteClose = func() { c.Close() }
+	c.OnClose = func(error) {
+		if idle != nil {
+			idle.Stop()
+		}
+	}
+}
+
 // ServeControl exposes the command interface on the given simulated
 // TCP stack, one command per line, mirroring the thesis's telnet
 // interface on port 12000.
 func ServeControl(stack *tcp.Stack, port uint16, p Commander) error {
 	_, err := stack.Listen(port, func(c *tcp.Conn) {
-		var buf []byte
-		c.OnData = func(b []byte) {
-			buf = append(buf, b...)
-			for {
-				i := indexByte(buf, '\n')
-				if i < 0 {
-					return
-				}
-				line := strings.TrimRight(string(buf[:i]), "\r")
-				buf = buf[i+1:]
-				if out := p.Command(line); out != "" {
-					if err := c.Write([]byte(out)); err != nil {
-						return
-					}
-				}
-			}
-		}
-		c.OnRemoteClose = func() { c.Close() }
+		serveControlConn(stack, c, p.Command)
 	})
 	return err
 }
@@ -309,24 +370,7 @@ func ServeControlWithPolicy(stack *tcp.Stack, port uint16, p Commander, policy *
 			return
 		}
 		sess := NewControlSession(p, policy)
-		var buf []byte
-		c.OnData = func(b []byte) {
-			buf = append(buf, b...)
-			for {
-				i := indexByte(buf, '\n')
-				if i < 0 {
-					return
-				}
-				line := strings.TrimRight(string(buf[:i]), "\r")
-				buf = buf[i+1:]
-				if out := sess.Exec(line); out != "" {
-					if err := c.Write([]byte(out)); err != nil {
-						return
-					}
-				}
-			}
-		}
-		c.OnRemoteClose = func() { c.Close() }
+		serveControlConn(stack, c, sess.Exec)
 	})
 	return err
 }

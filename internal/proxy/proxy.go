@@ -17,10 +17,23 @@ import (
 	"repro/internal/sim"
 )
 
+// QuarantineStrikes is the number of panics a filter instance may
+// cause before the proxy detaches it from its queue. The stream then
+// fails open — packets keep flowing unmodified — because the thesis's
+// transparency promise ranks "never break TCP end-to-end" above "keep
+// the service applied".
+const QuarantineStrikes = 3
+
 // attachment is one filter instance's hooks spliced into a queue.
 type attachment struct {
 	hooks filter.Hooks
 	seq   int // insertion order breaks priority ties (FIFO)
+
+	// strikes counts hook panics; at QuarantineStrikes the attachment
+	// is marked quarantined and swept out of the queue at the end of
+	// the current interception.
+	strikes     int
+	quarantined bool
 }
 
 // queue is the double filter queue of one exact stream key: conceptually
@@ -31,6 +44,11 @@ type queue struct {
 	attached []*attachment // kept sorted by descending priority, then seq
 	pkts     int64
 	bytes    int64
+
+	// pendingQuarantine flags that some attachment was quarantined
+	// during the current interception; the sweep runs once per packet,
+	// after the out queue, keeping the per-hook path branch-cheap.
+	pendingQuarantine bool
 }
 
 func (q *queue) insert(a *attachment) {
@@ -107,32 +125,38 @@ type Proxy struct {
 // exactly while shard goroutines keep writing: each field has a single
 // writer (the owning shard) and any number of readers.
 type Stats struct {
-	Intercepted     atomic.Int64
-	Filtered        atomic.Int64 // packets that traversed a non-empty queue
-	DroppedByFilter atomic.Int64
-	Injected        atomic.Int64
-	Reinjected      atomic.Int64
+	Intercepted       atomic.Int64
+	Filtered          atomic.Int64 // packets that traversed a non-empty queue
+	DroppedByFilter   atomic.Int64
+	Injected          atomic.Int64
+	Reinjected        atomic.Int64
+	HookPanics        atomic.Int64 // filter hook panics caught (never crashes)
+	FilterQuarantines atomic.Int64 // attachments detached after repeated panics
 }
 
 // Snapshot returns a point-in-time copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Intercepted:     s.Intercepted.Load(),
-		Filtered:        s.Filtered.Load(),
-		DroppedByFilter: s.DroppedByFilter.Load(),
-		Injected:        s.Injected.Load(),
-		Reinjected:      s.Reinjected.Load(),
+		Intercepted:       s.Intercepted.Load(),
+		Filtered:          s.Filtered.Load(),
+		DroppedByFilter:   s.DroppedByFilter.Load(),
+		Injected:          s.Injected.Load(),
+		Reinjected:        s.Reinjected.Load(),
+		HookPanics:        s.HookPanics.Load(),
+		FilterQuarantines: s.FilterQuarantines.Load(),
 	}
 }
 
 // StatsSnapshot is a plain-value copy of Stats, mergeable across
 // shards.
 type StatsSnapshot struct {
-	Intercepted     int64
-	Filtered        int64
-	DroppedByFilter int64
-	Injected        int64
-	Reinjected      int64
+	Intercepted       int64
+	Filtered          int64
+	DroppedByFilter   int64
+	Injected          int64
+	Reinjected        int64
+	HookPanics        int64
+	FilterQuarantines int64
 }
 
 // Merge returns the field-wise sum of a and b.
@@ -142,6 +166,8 @@ func (a StatsSnapshot) Merge(b StatsSnapshot) StatsSnapshot {
 	a.DroppedByFilter += b.DroppedByFilter
 	a.Injected += b.Injected
 	a.Reinjected += b.Reinjected
+	a.HookPanics += b.HookPanics
+	a.FilterQuarantines += b.FilterQuarantines
 	return a
 }
 
@@ -184,6 +210,8 @@ func (p *Proxy) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".dropped_by_filter", func() int64 { return p.Stats.DroppedByFilter.Load() })
 	r.Counter(prefix+".injected", func() int64 { return p.Stats.Injected.Load() })
 	r.Counter(prefix+".reinjected", func() int64 { return p.Stats.Reinjected.Load() })
+	r.Counter(prefix+".hook_panics", func() int64 { return p.Stats.HookPanics.Load() })
+	r.Counter(prefix+".filter_quarantines", func() int64 { return p.Stats.FilterQuarantines.Load() })
 	r.Gauge(prefix+".streams", func() float64 { return float64(p.QueueCount()) })
 	r.Gauge(prefix+".registrations", func() float64 { return float64(p.RegistrationCount()) })
 }
@@ -361,16 +389,19 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 	// In queue: descending priority (attached is already sorted that
 	// way). Read-only inspection.
 	for _, a := range q.attached {
-		if a.hooks.In != nil {
-			a.hooks.In(pkt)
+		if a.hooks.In != nil && !a.quarantined {
+			p.runHook(q, a, a.hooks.In, pkt)
 		}
 	}
 	// Out queue: ascending priority — the highest-priority filter
 	// writes last, overriding lower-priority changes (thesis §5.2).
 	for i := len(q.attached) - 1; i >= 0; i-- {
-		if a := q.attached[i]; a.hooks.Out != nil {
-			a.hooks.Out(pkt)
+		if a := q.attached[i]; a.hooks.Out != nil && !a.quarantined {
+			p.runHook(q, a, a.hooks.Out, pkt)
 		}
+	}
+	if q.pendingQuarantine {
+		p.sweepQuarantined(q)
 	}
 
 	if pkt.Dropped() {
@@ -394,6 +425,66 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 	}
 	pkt.Release()
 	return p.emit
+}
+
+// runHook invokes hook(pkt), converting a panic into a quarantine
+// strike instead of a crash: a broken filter must never take the
+// stream — or the proxy — down with it. The single static defer is
+// open-coded by the compiler, so the no-panic path stays
+// allocation-free (held to by the internal/perf gates).
+func (p *Proxy) runHook(q *queue, a *attachment, hook func(*filter.Packet), pkt *filter.Packet) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.noteHookPanic(q, a, r)
+		}
+	}()
+	hook(pkt)
+}
+
+// noteHookPanic records one strike against the attachment and marks it
+// for quarantine once it reaches QuarantineStrikes.
+func (p *Proxy) noteHookPanic(q *queue, a *attachment, r any) {
+	p.Stats.HookPanics.Add(1)
+	a.strikes++
+	p.obs.Emit("proxy", "filter-panic", q.key.String(),
+		obs.F("filter", a.hooks.Filter), obs.F("strikes", a.strikes),
+		obs.F("err", fmt.Sprint(r)))
+	p.Logf("proxy: filter %s panicked on %v (strike %d/%d): %v",
+		a.hooks.Filter, q.key, a.strikes, QuarantineStrikes, r)
+	if a.strikes >= QuarantineStrikes && !a.quarantined {
+		a.quarantined = true
+		q.pendingQuarantine = true
+	}
+}
+
+// sweepQuarantined detaches every quarantined attachment from q. The
+// queue object survives even if it empties: it becomes a tombstone
+// through which the stream's packets pass unmodified (fail open),
+// rather than being rebuilt — which would re-instantiate the broken
+// filter and let it panic another QuarantineStrikes times per rebuild.
+func (p *Proxy) sweepQuarantined(q *queue) {
+	q.pendingQuarantine = false
+	kept := q.attached[:0]
+	for _, a := range q.attached {
+		if !a.quarantined {
+			kept = append(kept, a)
+			continue
+		}
+		p.Stats.FilterQuarantines.Add(1)
+		p.obs.Emit("proxy", "filter-quarantine", q.key.String(),
+			obs.F("filter", a.hooks.Filter), obs.F("strikes", a.strikes))
+		p.Logf("proxy: filter %s quarantined on %v after %d panics (stream fails open)",
+			a.hooks.Filter, q.key, a.strikes)
+		if a.hooks.OnClose != nil {
+			// The filter already proved itself broken; a panicking
+			// OnClose must not undo the containment.
+			func() {
+				defer func() { recover() }()
+				a.hooks.OnClose()
+			}()
+		}
+	}
+	q.attached = kept
 }
 
 // negCacheMax bounds the negative-match cache; on overflow the whole

@@ -142,6 +142,10 @@ func NewStack(n Network, cfg Config) *Stack {
 	}
 }
 
+// Clock exposes the stack's scheduler so components layered on top
+// (control sessions, supervisors) can arm timers on the same timeline.
+func (s *Stack) Clock() *sim.Scheduler { return s.net.Clock() }
+
 // Listener accepts inbound connections on a port.
 type Listener struct {
 	stack  *Stack
