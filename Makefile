@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench bench-shard obs-determinism chaos verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard obs-determinism chaos adapt verify
 
 build:
 	$(GO) build ./...
@@ -79,5 +79,18 @@ chaos:
 	@$(GO) run ./cmd/wsim -chaos -seed 11 > /tmp/chaos-run2.txt
 	@cmp /tmp/chaos-run1.txt /tmp/chaos-run2.txt && echo "chaos: OK"
 
-verify: build test vet fmt-check obs-determinism chaos
+# Adaptive-services gate: the policy-engine scenario under the race
+# detector, then two separate processes with the same seed whose full
+# outputs (per-leg results, policy trace, event log, metrics) must be
+# byte-identical. The scenario itself asserts a complete
+# load→hold→unload hysteresis cycle on both proxies and checksum-clean
+# transfers on every leg.
+adapt:
+	$(GO) test -race -count=1 ./internal/policy
+	$(GO) test -race -count=1 -run 'TestPolicyDeterminism' ./internal/experiments
+	@$(GO) run ./cmd/wsim -adapt -seed 13 > /tmp/adapt-run1.txt
+	@$(GO) run ./cmd/wsim -adapt -seed 13 > /tmp/adapt-run2.txt
+	@cmp /tmp/adapt-run1.txt /tmp/adapt-run2.txt && echo "adapt: OK"
+
+verify: build test vet fmt-check obs-determinism chaos adapt
 	@echo "verify: OK"

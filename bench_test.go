@@ -88,13 +88,13 @@ func BenchmarkE1SPInterfaceSession(b *testing.B) {
 func BenchmarkE2EEMRoundTrip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys := core.NewSystem(core.Config{Seed: int64(i + 1), WithUser: true, EEMInterval: 100 * time.Millisecond})
-		client := eem.NewClient(eem.SimDialer(sys.UserTCP))
+		client := eem.NewComma(eem.SimDialer(sys.UserTCP))
 		id := eem.ID{Var: "sysUpTime", Server: "11.11.9.1"}
 		if err := client.Register(id, eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE}); err != nil {
 			b.Fatal(err)
 		}
 		sys.Sched.RunFor(time.Second)
-		if _, ok := client.Value(id); !ok {
+		if _, ok := client.GetValue(id); !ok {
 			b.Fatal("no update arrived")
 		}
 	}

@@ -95,7 +95,7 @@ func main() {
 		return realConn{conn}, wire, nil
 	}
 
-	shell := kati.New(out, spDial, eem.NewClient(eemDial))
+	shell := kati.New(out, spDial, eem.NewComma(eemDial))
 	fmt.Fprintln(out, "kati — Comma service-control shell (help for commands, ^D to exit)")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Fprint(out, "kati> ")

@@ -8,6 +8,12 @@
 // Usage:
 //
 //	spd [-listen :12000] [-loss 0.02] [-bw 2000000] [-shards 4]
+//	    [-policy '<rule>' ...]
+//
+// Each -policy flag (repeatable) arms one adaptive rule on the policy
+// engine; rule state is then inspectable over the control port with
+// `policy list` and `policy trace`. See internal/policy for the rule
+// grammar.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/proxy"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -37,7 +44,14 @@ func main() {
 	bw := flag.Int64("bw", 2e6, "wireless bandwidth, bits/s")
 	debug := flag.String("debug", "", "address for expvar/pprof debug HTTP (e.g. localhost:6060); empty disables")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "data-plane shard count (1 = classic single interception loop)")
+	var rules multiFlag
+	flag.Var(&rules, "policy", "adaptive policy rule (repeatable); see internal/policy for the grammar")
 	flag.Parse()
+	for _, r := range rules {
+		if _, err := policy.ParseRule(r); err != nil {
+			log.Fatalf("spd: %v", err)
+		}
+	}
 
 	sys := core.NewSystem(core.Config{
 		Seed:   time.Now().UnixNano(),
@@ -47,6 +61,7 @@ func main() {
 			Delay:     10 * time.Millisecond,
 			Loss:      netsim.Bernoulli{P: *loss},
 		},
+		Policy: core.PolicyConfig{Rules: rules},
 	})
 	rt := sim.NewRealtime(sys.Sched)
 
@@ -92,6 +107,16 @@ func main() {
 		}
 		go serve(conn, rt, sys)
 	}
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 // serveDebug exposes the unified metrics snapshot through expvar

@@ -11,6 +11,9 @@
 //	                       + metrics snapshot; byte-identical per seed)
 //	wsim -chaos            run the chaos soak (fault matrix + resilience
 //	                       assertions; byte-identical per seed)
+//	wsim -adapt            run the adaptive-services scenario (policy
+//	                       engines close the EEM→SP loop around a link
+//	                       degradation; byte-identical per seed)
 package main
 
 import (
@@ -28,7 +31,8 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	events := flag.Bool("events", false, "run the observability demo scenario")
 	chaos := flag.Bool("chaos", false, "run the chaos soak scenario (fault injection)")
-	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos")
+	adapt := flag.Bool("adapt", false, "run the adaptive-services scenario (policy engine)")
+	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos/-adapt")
 	flag.Parse()
 
 	switch {
@@ -50,6 +54,11 @@ func main() {
 		}
 	case *chaos:
 		if err := faults.Chaos(*seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *adapt:
+		if err := experiments.AdaptDemo(*seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/proxy"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -61,6 +62,18 @@ type Config struct {
 	// ObsRetention bounds the observability event ring
 	// (obs.DefaultRetention when 0).
 	ObsRetention int
+	// Policy, when it carries rules, arms an adaptive policy engine
+	// against the A-side data plane (thesis ch. 7: the control loop
+	// that loads services in response to EEM conditions).
+	Policy PolicyConfig
+}
+
+// PolicyConfig configures the optional adaptive policy engine.
+type PolicyConfig struct {
+	// Period is the engine's sampling tick (policy.DefaultPeriod when 0).
+	Period time.Duration
+	// Rules are parsed by policy.ParseRule; a bad rule panics NewSystem.
+	Rules []string
 }
 
 // System is a running Comma deployment.
@@ -93,6 +106,9 @@ type System struct {
 	// counter/gauge registry (rendered by the SP "stats" command).
 	Obs     *obs.Bus
 	Metrics *obs.Registry
+
+	// Policy is the adaptive engine; nil unless Config.Policy has rules.
+	Policy *policy.Engine
 }
 
 // NewSystem builds and starts a Comma deployment.
@@ -223,6 +239,35 @@ func NewSystem(cfg Config) *System {
 		sys.UserTCP = tcp.NewStack(sys.User, cfg.TCP)
 		registerStacks(sys.User, sys.UserTCP, nil)
 		sys.UserTCP.RegisterMetrics(sys.Metrics, "tcp.user")
+	}
+
+	if len(cfg.Policy.Rules) > 0 {
+		// The engine is an EEM client like any other: it dials the
+		// proxy's control address from the wired host (the simulator
+		// has no loopback path, so the proxy host cannot dial itself).
+		cm := eem.NewComma(eem.SimDialer(sys.WiredTCP))
+		cm.UseScheduler(s)
+		cm.SetObs(sys.Obs)
+		sys.Policy = policy.New(policy.Config{
+			Sched:   s,
+			Comma:   cm,
+			Control: sys.Plane,
+			Server:  ProxyCtrlAddr.String(),
+			Bus:     sys.Obs,
+			Period:  cfg.Policy.Period,
+		})
+		sys.Policy.RegisterMetrics(sys.Metrics, "policy")
+		for _, spec := range cfg.Policy.Rules {
+			if err := sys.Policy.AddRule(spec); err != nil {
+				panic(fmt.Sprintf("core: %v", err))
+			}
+		}
+		// Expose the engine on the SP control port so Kati's `policy`
+		// command reaches it like any other SP command. Registered only
+		// when configured, so default deployments keep their command
+		// surface (and help text) unchanged.
+		sys.Plane.RegisterCommand("policy", sys.Policy.Command)
+		sys.Policy.Start()
 	}
 	return sys
 }

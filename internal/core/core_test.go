@@ -61,9 +61,9 @@ func TestSystemDoubleProxyCompression(t *testing.T) {
 
 func TestSystemEEMReachable(t *testing.T) {
 	sys := core.NewSystem(core.Config{WithUser: true, EEMInterval: time.Second})
-	client := eem.NewClient(eem.SimDialer(sys.UserTCP))
+	client := eem.NewComma(eem.SimDialer(sys.UserTCP))
 	var got eem.Value
-	client.PollOnce(eem.ID{Var: "sysName", Server: "11.11.9.1"}, func(v eem.Value, err error) {
+	client.GetValueOnce(eem.ID{Var: "sysName", Server: "11.11.9.1"}, func(v eem.Value, err error) {
 		if err != nil {
 			t.Errorf("poll: %v", err)
 		}

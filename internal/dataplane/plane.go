@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cmdspec"
 	"repro/internal/filter"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -41,6 +42,12 @@ type Plane struct {
 
 	// watchdogTrips counts shard-stall detections (concurrent mode).
 	watchdogTrips atomic.Int64
+
+	// ext holds runtime-registered extension commands (e.g. the policy
+	// engine's "policy"), dispatched ahead of shard routing so they
+	// work at every shard count. Extension names are appended to the
+	// plane's help line.
+	ext map[string]func(args []string) string
 
 	closed bool
 }
@@ -415,24 +422,66 @@ func (pl *Plane) RegisterMetrics(r *obs.Registry, prefix string) {
 	}
 }
 
-// Command implements proxy.Commander over the sharded plane. With one
-// inline shard every line is delegated verbatim — today's behavior,
-// event for event. Otherwise the plane emits a single "proxy/command"
-// event and routes: exact-key add/delete go to the owning shard,
-// registry/service mutations broadcast under the quiesce protocol,
-// report/streams merge per-shard state, and shared-state queries
-// (stats, events, filters, services, help) answer from shard 0.
-func (pl *Plane) Command(line string) string {
-	if pl.n == 1 && pl.inline() {
-		return pl.shards[0].Command(line)
+// RegisterCommand installs an extension command on the plane's control
+// surface: lines starting with name are handed to fn (arguments only,
+// command word stripped) instead of the shard grammar, and name is
+// appended to the plane's help line. Extensions let subsystems that
+// live above the shards — the policy engine above all — speak the same
+// telnet dialect as everything else.
+func (pl *Plane) RegisterCommand(name string, fn func(args []string) string) {
+	if pl.ext == nil {
+		pl.ext = make(map[string]func(args []string) string)
 	}
+	pl.ext[name] = fn
+}
+
+// extNames lists registered extension commands, sorted.
+func (pl *Plane) extNames() []string {
+	out := make([]string, 0, len(pl.ext))
+	for n := range pl.ext {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Command implements proxy.Commander over the sharded plane. Extension
+// commands dispatch first (they exist at the plane, not on any shard).
+// With one inline shard every remaining line is delegated verbatim —
+// today's behavior, event for event. Otherwise the plane emits a
+// single "proxy/command" event and routes by the shared cmdspec table:
+// exact-key add/delete go to the owning shard, registry/service
+// mutations broadcast under the quiesce protocol, report/streams merge
+// per-shard state, and shared-state queries (stats, events, filters,
+// services, help) answer from shard 0.
+func (pl *Plane) Command(line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return ""
 	}
+	if fn, ok := pl.ext[fields[0]]; ok {
+		pl.bus.Emit("proxy", "command", fields[0], obs.F("args", len(fields)-1))
+		if spec, known := cmdspec.Lookup(fields[0]); known && !spec.ArityOK(len(fields)-1) {
+			return spec.UsageError()
+		}
+		return fn(fields[1:])
+	}
+	if fields[0] == "help" && len(pl.ext) > 0 {
+		// Answer help at the plane so extension commands are listed
+		// regardless of shard count.
+		pl.bus.Emit("proxy", "command", fields[0], obs.F("args", len(fields)-1))
+		return cmdspec.HelpLine(pl.extNames()...)
+	}
+	if pl.n == 1 && pl.inline() {
+		return pl.shards[0].Command(line)
+	}
 	pl.bus.Emit("proxy", "command", fields[0], obs.F("args", len(fields)-1))
-	switch fields[0] {
-	case "add", "delete":
+	route := cmdspec.RouteShard0
+	if spec, known := cmdspec.Lookup(fields[0]); known {
+		route = spec.Route
+	}
+	switch route {
+	case cmdspec.RouteKeyed:
 		if len(fields) >= 6 {
 			if k, err := filter.ParseKey(fields[2:6]); err == nil && !k.IsWild() {
 				// Exact key: only the owning shard can ever see matching
@@ -445,23 +494,106 @@ func (pl *Plane) Command(line string) string {
 			}
 		}
 		return pl.broadcast(line)
-	case "load", "remove", "service", "unservice":
+	case cmdspec.RouteBroadcast:
 		return pl.broadcast(line)
-	case "report":
+	case cmdspec.RouteMergedReport:
 		name := ""
 		if len(fields) > 1 {
 			name = fields[1]
 		}
 		return pl.mergedReport(name)
-	case "streams":
+	case cmdspec.RouteMergedStreams:
 		return pl.mergedStreams()
 	default:
-		// stats/events/filters/services/help/unknown: identical shared
-		// state on every shard — answer from shard 0.
+		// Identical shared state on every shard — answer from shard 0.
 		var out string
 		pl.doShard(0, func(p *proxy.Proxy) { out = p.Exec(line) })
 		return out
 	}
+}
+
+// --- typed control surface ----------------------------------------------------
+//
+// The policy engine mutates filter state through these methods rather
+// than rendered command lines, so its rollback logic can branch on the
+// typed sentinels (proxy.ErrNotLoaded, proxy.ErrAlreadyLoaded,
+// proxy.ErrNoSuchStream, filter.ErrUnknownFilter). Routing matches
+// Command exactly; no "proxy/command" event is emitted — the engine
+// emits its own policy/* transitions instead.
+
+// LoadFilter loads a filter library on every shard.
+func (pl *Plane) LoadFilter(libName string) (string, error) {
+	if pl.n == 1 && pl.inline() {
+		return pl.shards[0].LoadFilter(libName)
+	}
+	names := make([]string, pl.n)
+	errs := make([]error, pl.n)
+	pl.mutate(func(i int, p *proxy.Proxy) { names[i], errs[i] = p.LoadFilter(libName) })
+	for _, err := range errs {
+		if err != nil {
+			return "", err
+		}
+	}
+	return names[0], nil
+}
+
+// UnloadFilter unloads a filter library from every shard.
+func (pl *Plane) UnloadFilter(name string) error {
+	if pl.n == 1 && pl.inline() {
+		return pl.shards[0].UnloadFilter(name)
+	}
+	errs := make([]error, pl.n)
+	pl.mutate(func(i int, p *proxy.Proxy) { errs[i] = p.UnloadFilter(name) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddFilter binds a loaded filter (or defined service) to a stream
+// key: exact keys route to the owning shard, wild-cards broadcast.
+func (pl *Plane) AddFilter(name string, k filter.Key, args []string) error {
+	if pl.n == 1 && pl.inline() {
+		return pl.shards[0].AddFilter(name, k, args)
+	}
+	if !k.IsWild() {
+		var err error
+		pl.doShard(ShardOf(k, pl.n), func(p *proxy.Proxy) { err = p.AddFilter(name, k, args) })
+		pl.epoch.Add(1)
+		return err
+	}
+	errs := make([]error, pl.n)
+	pl.mutate(func(i int, p *proxy.Proxy) { errs[i] = p.AddFilter(name, k, args) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteFilter removes a filter's registration and attachments for a
+// stream key, routed like AddFilter.
+func (pl *Plane) DeleteFilter(name string, k filter.Key) error {
+	if pl.n == 1 && pl.inline() {
+		return pl.shards[0].DeleteFilter(name, k)
+	}
+	if !k.IsWild() {
+		var err error
+		pl.doShard(ShardOf(k, pl.n), func(p *proxy.Proxy) { err = p.DeleteFilter(name, k) })
+		pl.epoch.Add(1)
+		return err
+	}
+	errs := make([]error, pl.n)
+	pl.mutate(func(i int, p *proxy.Proxy) { errs[i] = p.DeleteFilter(name, k) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // broadcast Execs line on every shard under the quiesce barrier and

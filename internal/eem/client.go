@@ -38,9 +38,14 @@ type pdaEntry struct {
 	stale     bool // server lost since the value arrived
 }
 
-// Client is the EEM client library (thesis comma_* interface). All
-// methods must be called from the event-loop goroutine driving the
-// transports.
+// Client is the low-level EEM client connection machinery. All methods
+// must be called from the event-loop goroutine driving the transports.
+//
+// New code should use the Comma facade (comma.go), which renders the
+// thesis's comma_* interface with explicit notification modes; the
+// exported methods below are thin deprecated wrappers kept for source
+// compatibility. Both the wrappers and Comma share the unexported
+// cores, so behaviour is identical through either surface.
 type Client struct {
 	dial    Dialer
 	conns   map[string]Conn
@@ -80,10 +85,17 @@ func (c *Client) SetObs(b *obs.Bus) { c.obs = b }
 // SetCallback installs the interrupt-notification callback
 // (comma_setcallback). Registrations made with Attr.Interrupt deliver
 // through it.
-func (c *Client) SetCallback(fn func(ID, Value)) { c.cb = fn }
+//
+// Deprecated: use Comma.Register with WithCallback, which scopes the
+// callback to one registration instead of the whole client.
+func (c *Client) SetCallback(fn func(ID, Value)) { c.setCallback(fn) }
+
+func (c *Client) setCallback(fn func(ID, Value)) { c.cb = fn }
 
 // Close disconnects from all servers and drops state (comma_term).
-func (c *Client) Close() {
+func (c *Client) Close() { c.close() }
+
+func (c *Client) close() {
 	if c.closed {
 		return
 	}
@@ -162,7 +174,8 @@ func (c *Client) noteDisconnect(server string) {
 			delete(c.polls, seq)
 			delete(c.pollSrv, seq)
 			if fn != nil {
-				fn(Value{}, fmt.Errorf("eem: connection to %s lost", server))
+				fn(Value{}, wrapKind(ErrConnLost,
+					fmt.Sprintf("eem: connection to %s lost", server)))
 			}
 		}
 		c.obs.Emit("eem-client", "conn-down", server)
@@ -178,7 +191,12 @@ func (c *Client) noteDisconnect(server string) {
 // the region. The interest is remembered even if the server is
 // currently unreachable: a supervising client re-registers it once
 // the connection comes back.
-func (c *Client) Register(id ID, attr Attr) error {
+//
+// Deprecated: use Comma.Register, which makes the notification mode
+// explicit (default PDA-silent, WithCallback, WithPDA, WithPoll).
+func (c *Client) Register(id ID, attr Attr) error { return c.register(id, attr) }
+
+func (c *Client) register(id ID, attr Attr) error {
 	c.interests[id] = attr
 	if _, ok := c.pda[id]; !ok {
 		c.pda[id] = &pdaEntry{}
@@ -186,16 +204,40 @@ func (c *Client) Register(id ID, attr Attr) error {
 	return c.writeTo(id.Server, encodeMsg(wireMsg{Kind: msgRegister, ID: id, A: attr}))
 }
 
+// localRegister records a client-only registration (Comma's WithPoll
+// mode): a PDA slot exists for GetValueOnce results but the server is
+// never contacted and the supervisor never replays it.
+func (c *Client) localRegister(id ID) {
+	if _, ok := c.pda[id]; !ok {
+		c.pda[id] = &pdaEntry{}
+	}
+}
+
 // Deregister removes one registration (comma_var_deregister).
-func (c *Client) Deregister(id ID) error {
+//
+// Deprecated: use Comma.Deregister.
+func (c *Client) Deregister(id ID) error { return c.deregister(id) }
+
+func (c *Client) deregister(id ID) error {
 	delete(c.interests, id)
 	delete(c.pda, id)
 	return c.writeTo(id.Server, encodeMsg(wireMsg{Kind: msgDeregister, ID: id}))
 }
 
+// localDeregister drops a client-only registration without touching
+// the server.
+func (c *Client) localDeregister(id ID) {
+	delete(c.interests, id)
+	delete(c.pda, id)
+}
+
 // DeregisterAll removes every registration on every server
 // (comma_var_deregisterall).
-func (c *Client) DeregisterAll() {
+//
+// Deprecated: use Comma.DeregisterAll.
+func (c *Client) DeregisterAll() { c.deregisterAll() }
+
+func (c *Client) deregisterAll() {
 	servers := make([]string, 0, len(c.conns))
 	for s := range c.conns {
 		servers = append(servers, s)
@@ -211,7 +253,11 @@ func (c *Client) DeregisterAll() {
 // Value returns the most recent value from the protected data area
 // (comma_query_getvalue) and whether one has arrived. It clears the
 // changed mark.
-func (c *Client) Value(id ID) (Value, bool) {
+//
+// Deprecated: use Comma.GetValue.
+func (c *Client) Value(id ID) (Value, bool) { return c.value(id) }
+
+func (c *Client) value(id ID) (Value, bool) {
 	e, ok := c.pda[id]
 	if !ok || !e.haveValue {
 		return Value{}, false
@@ -220,24 +266,51 @@ func (c *Client) Value(id ID) (Value, bool) {
 	return e.val, true
 }
 
+// storePDA writes a value into the protected data area directly —
+// Comma's WithPDA refresh pump stores poll results through it, keeping
+// the changed/stale bookkeeping identical to a server-pushed update.
+func (c *Client) storePDA(id ID, v Value, inRange bool) {
+	e, ok := c.pda[id]
+	if !ok {
+		return
+	}
+	if !e.haveValue || !e.val.Equal(v) {
+		e.changed = true
+	}
+	e.val = v
+	e.haveValue = true
+	e.inRange = inRange
+	e.stale = false
+}
+
 // Stale reports whether id's protected-data-area value predates a
 // disconnect from its server — still readable, but possibly outdated.
 // It clears when fresh data arrives after the reconnect.
-func (c *Client) Stale(id ID) bool {
+func (c *Client) Stale(id ID) bool { return c.stale(id) }
+
+func (c *Client) stale(id ID) bool {
 	e, ok := c.pda[id]
 	return ok && e.stale
 }
 
 // InRange reports whether the most recent update had the variable
 // inside its region of interest (comma_query_isinrange).
-func (c *Client) InRange(id ID) bool {
+//
+// Deprecated: use Comma.IsInRange.
+func (c *Client) InRange(id ID) bool { return c.inRange(id) }
+
+func (c *Client) inRange(id ID) bool {
 	e, ok := c.pda[id]
 	return ok && e.inRange
 }
 
 // HasChanged reports whether the variable changed since last read
 // (comma_query_haschanged).
-func (c *Client) HasChanged(id ID) bool {
+//
+// Deprecated: use Comma.HasChanged.
+func (c *Client) HasChanged(id ID) bool { return c.hasChanged(id) }
+
+func (c *Client) hasChanged(id ID) bool {
 	e, ok := c.pda[id]
 	return ok && e.changed
 }
@@ -246,7 +319,11 @@ func (c *Client) HasChanged(id ID) bool {
 // (comma_query_getvalue_once). The reply is delivered asynchronously
 // to fn — the event-driven rendering of the thesis's synchronous call.
 // If the connection dies before the reply, fn receives an error.
-func (c *Client) PollOnce(id ID, fn func(Value, error)) error {
+//
+// Deprecated: use Comma.GetValueOnce.
+func (c *Client) PollOnce(id ID, fn func(Value, error)) error { return c.pollOnce(id, fn) }
+
+func (c *Client) pollOnce(id ID, fn func(Value, error)) error {
 	conn, err := c.connTo(id.Server)
 	if err != nil {
 		if c.sup != nil {
@@ -270,6 +347,10 @@ func (c *Client) PollOnce(id ID, fn func(Value, error)) error {
 // ListVariables asks a server for its variable catalogue (Kati's
 // browsing support).
 func (c *Client) ListVariables(server string, fn func([]string)) error {
+	return c.listVariables(server, fn)
+}
+
+func (c *Client) listVariables(server string, fn func([]string)) error {
 	conn, err := c.connTo(server)
 	if err != nil {
 		if c.sup != nil {
@@ -342,7 +423,11 @@ func (c *Client) handleLine(server string, line []byte) {
 		delete(c.polls, m.Seq)
 		delete(c.pollSrv, m.Seq)
 		if m.Err != "" {
-			fn(Value{}, fmt.Errorf("eem: %s", m.Err))
+			if kind := kindForCode(m.Code); kind != nil {
+				fn(Value{}, wrapKind(kind, "eem: "+m.Err))
+			} else {
+				fn(Value{}, fmt.Errorf("eem: %s", m.Err))
+			}
 		} else {
 			fn(m.V, nil)
 		}

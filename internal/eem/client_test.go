@@ -134,17 +134,20 @@ func TestSuperviseReconnectsAndReRegisters(t *testing.T) {
 	r := newEEMRig(t, time.Second)
 	bus := obs.NewBus(r.sched, 4096)
 	r.client.SetObs(bus)
-	r.client.Supervise(r.sched, eem.SuperviseConfig{
+	r.client.UseScheduler(r.sched)
+	if err := r.client.Supervise(eem.SuperviseConfig{
 		BaseDelay: 200 * time.Millisecond,
 		MaxDelay:  2 * time.Second,
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	id := sysUpTimeID(r.serverAddr)
 	attr := eem.Attr{Lower: eem.LongValue(0), Upper: eem.LongValue(1 << 40), Op: eem.IN}
 	if err := r.client.Register(id, attr); err != nil {
 		t.Fatal(err)
 	}
 	r.sched.RunFor(3 * time.Second)
-	if _, ok := r.client.Value(id); !ok {
+	if _, ok := r.client.GetValue(id); !ok {
 		t.Fatal("no value before the crash")
 	}
 	if r.client.Stale(id) {
@@ -156,7 +159,7 @@ func TestSuperviseReconnectsAndReRegisters(t *testing.T) {
 	if !r.client.Stale(id) {
 		t.Fatal("value not stale after server crash")
 	}
-	if _, ok := r.client.Value(id); !ok {
+	if _, ok := r.client.GetValue(id); !ok {
 		t.Fatal("stale value must remain readable")
 	}
 
@@ -190,10 +193,13 @@ func TestSuperviseBackoffGrows(t *testing.T) {
 	r := newEEMRig(t, time.Second)
 	bus := obs.NewBus(r.sched, 4096)
 	r.client.SetObs(bus)
-	r.client.Supervise(r.sched, eem.SuperviseConfig{
+	r.client.UseScheduler(r.sched)
+	if err := r.client.Supervise(eem.SuperviseConfig{
 		BaseDelay: 100 * time.Millisecond,
 		MaxDelay:  5 * time.Second,
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	id := sysUpTimeID(r.serverAddr)
 	if err := r.client.Register(id, eem.Attr{Lower: eem.LongValue(0), Upper: eem.LongValue(1 << 40), Op: eem.IN}); err != nil {
 		t.Fatal(err)

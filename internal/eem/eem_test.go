@@ -1,6 +1,7 @@
 package eem_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ type eemRig struct {
 	sched        *sim.Scheduler
 	net          *netsim.Network
 	cHost, sHost *netsim.Node
-	client       *eem.Client
+	client       *eem.Comma
 	server       *eem.Server
 	serverAddr   string
 }
@@ -42,7 +43,7 @@ func newEEMRig(t *testing.T, interval time.Duration) *eemRig {
 	}
 	srv.StartSimTicker(s)
 
-	client := eem.NewClient(eem.SimDialer(cStack))
+	client := eem.NewComma(eem.SimDialer(cStack))
 	return &eemRig{sched: s, net: n, cHost: ch, sHost: sh,
 		client: client, server: srv, serverAddr: "10.0.0.2"}
 }
@@ -69,7 +70,7 @@ func TestSampleProgramFig62(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		r.sched.RunFor(time.Second)
 		if r.client.HasChanged(id) {
-			v, ok := r.client.Value(id)
+			v, ok := r.client.GetValue(id)
 			if !ok {
 				t.Fatal("HasChanged but no value")
 			}
@@ -87,10 +88,10 @@ func TestSampleProgramFig62(t *testing.T) {
 	// After 20 (virtual) seconds, sysUpTime leaves [0,2000] and the
 	// updates stop.
 	r.sched.RunFor(15 * time.Second)
-	r.client.Value(id) // clear changed
+	r.client.GetValue(id) // clear changed
 	r.sched.RunFor(3 * time.Second)
 	if r.client.HasChanged(id) {
-		v, _ := r.client.Value(id)
+		v, _ := r.client.GetValue(id)
 		t.Fatalf("updates continued outside the region: %v", v)
 	}
 }
@@ -100,15 +101,13 @@ func TestInterruptCallbackEdgeTriggered(t *testing.T) {
 	// Watch ipInReceives > 5 with interrupt notification.
 	id := eem.ID{Var: "ipInReceives", Server: r.serverAddr}
 	var fired []eem.Value
-	r.client.SetCallback(func(gotID eem.ID, v eem.Value) {
-		if gotID.Var != "ipInReceives" {
-			t.Errorf("callback for %v", gotID)
-		}
-		fired = append(fired, v)
-	})
-	err := r.client.Register(id, eem.Attr{
-		Lower: eem.LongValue(5), Op: eem.GT, Interrupt: true,
-	})
+	err := r.client.Register(id, eem.Attr{Lower: eem.LongValue(5), Op: eem.GT},
+		eem.WithCallback(func(gotID eem.ID, v eem.Value) {
+			if gotID.Var != "ipInReceives" {
+				t.Errorf("callback for %v", gotID)
+			}
+			fired = append(fired, v)
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +133,7 @@ func TestPollOnce(t *testing.T) {
 	var got eem.Value
 	var gotErr error
 	done := false
-	err := r.client.PollOnce(eem.ID{Var: "sysName", Server: r.serverAddr}, func(v eem.Value, err error) {
+	err := r.client.GetValueOnce(eem.ID{Var: "sysName", Server: r.serverAddr}, func(v eem.Value, err error) {
 		got, gotErr, done = v, err, true
 	})
 	if err != nil {
@@ -153,12 +152,17 @@ func TestPollOnce(t *testing.T) {
 
 	// Unknown variable yields an error reply.
 	done = false
-	r.client.PollOnce(eem.ID{Var: "noSuchVar", Server: r.serverAddr}, func(v eem.Value, err error) {
+	r.client.GetValueOnce(eem.ID{Var: "noSuchVar", Server: r.serverAddr}, func(v eem.Value, err error) {
 		gotErr, done = err, true
 	})
 	r.sched.RunFor(2 * time.Second)
 	if !done || gotErr == nil {
 		t.Fatalf("unknown variable: done=%v err=%v", done, gotErr)
+	}
+	// The server names the failure with a wire error code, so the
+	// client reconstructs the typed sentinel across the connection.
+	if !errors.Is(gotErr, eem.ErrUnknownVar) {
+		t.Fatalf("poll error = %v, want eem.ErrUnknownVar", gotErr)
 	}
 }
 
@@ -184,12 +188,12 @@ func TestDeregisterStopsUpdates(t *testing.T) {
 	id := sysUpTimeID(r.serverAddr)
 	r.client.Register(id, eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE})
 	r.sched.RunFor(2 * time.Second)
-	if _, ok := r.client.Value(id); !ok {
+	if _, ok := r.client.GetValue(id); !ok {
 		t.Fatal("no updates before deregister")
 	}
 	r.client.Deregister(id)
 	r.sched.RunFor(time.Second)
-	if _, ok := r.client.Value(id); ok {
+	if _, ok := r.client.GetValue(id); ok {
 		t.Fatal("PDA entry survived deregistration")
 	}
 }
@@ -203,10 +207,10 @@ func TestDeregisterAll(t *testing.T) {
 	r.sched.RunFor(2 * time.Second)
 	r.client.DeregisterAll()
 	r.sched.RunFor(time.Second)
-	if _, ok := r.client.Value(id1); ok {
+	if _, ok := r.client.GetValue(id1); ok {
 		t.Fatal("id1 survived DeregisterAll")
 	}
-	if r.client.InRange(id2) {
+	if r.client.IsInRange(id2) {
 		t.Fatal("id2 survived DeregisterAll")
 	}
 }

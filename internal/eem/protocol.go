@@ -35,7 +35,10 @@ type wireMsg struct {
 	// Batch carries the variables of a periodic update.
 	Batch []varUpdate `json:"batch,omitempty"`
 	Err   string      `json:"err,omitempty"`
-	Names []string    `json:"names,omitempty"`
+	// Code tags protocol errors with a machine-readable kind so the
+	// client can reconstruct the matching typed sentinel (errors.go).
+	Code  string   `json:"code,omitempty"`
+	Names []string `json:"names,omitempty"`
 }
 
 // varUpdate is one entry in a periodic update batch.

@@ -115,7 +115,8 @@ func (s *Server) Variables() []string {
 func (s *Server) get(id ID) (Value, error) {
 	src, ok := s.varIndex[id.Var]
 	if !ok {
-		return Value{}, fmt.Errorf("eem: server %s has no variable %q", s.name, id.Var)
+		return Value{}, wrapKind(ErrUnknownVar,
+			fmt.Sprintf("eem: server %s has no variable %q", s.name, id.Var))
 	}
 	return src.Get(id.Var, id.Index)
 }
@@ -198,7 +199,8 @@ func (s *Server) handleLine(sess *session, line []byte) {
 	switch m.Kind {
 	case msgRegister:
 		if _, ok := s.varIndex[m.ID.Var]; !ok {
-			sess.conn.Write(encodeMsg(wireMsg{Kind: msgError, Err: "unknown variable " + m.ID.Var}))
+			sess.conn.Write(encodeMsg(wireMsg{Kind: msgError,
+				Err: "unknown variable " + m.ID.Var, Code: codeUnknownVar}))
 			return
 		}
 		s.Registrations++
@@ -223,6 +225,7 @@ func (s *Server) handleLine(sess *session, line []byte) {
 		reply := wireMsg{Kind: msgPollReply, Seq: m.Seq, ID: m.ID, V: v}
 		if err != nil {
 			reply.Err = err.Error()
+			reply.Code = codeFor(err)
 		}
 		s.obs.Emit("eem", "poll", sess.key(), obs.F("var", m.ID.Var))
 		sess.conn.Write(encodeMsg(reply))

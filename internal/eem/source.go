@@ -244,7 +244,7 @@ func (s *NodeSource) Get(name string, index int) (Value, error) {
 				return LongValue(0), nil
 			}
 		}
-		return Value{}, fmt.Errorf("eem: unknown variable %q", name)
+		return Value{}, wrapKind(ErrUnknownVar, fmt.Sprintf("eem: unknown variable %q", name))
 	}
 }
 

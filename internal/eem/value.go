@@ -9,15 +9,21 @@
 //
 // C-API correspondence (thesis Table 6.3–6.7 → this package):
 //
-//	comma_init / comma_term                → NewClient / Client.Close
-//	comma_setcallback                      → Client.SetCallback
+//	comma_init / comma_term                → NewComma / Comma.Term
+//	comma_setcallback                      → Comma.Register(..., WithCallback(fn))
 //	comma_id_*                             → ID struct fields
 //	comma_attr_*                           → Attr struct fields
-//	comma_var_register / deregister[all]   → Client.Register / Deregister / DeregisterAll
-//	comma_query_getvalue                   → Client.Value
-//	comma_query_isinrange                  → Client.InRange
-//	comma_query_haschanged                 → Client.HasChanged
-//	comma_query_getvalue_once              → Client.PollOnce
+//	comma_var_register / deregister[all]   → Comma.Register / Deregister / DeregisterAll
+//	comma_query_getvalue                   → Comma.GetValue
+//	comma_query_isinrange                  → Comma.IsInRange
+//	comma_query_haschanged                 → Comma.HasChanged
+//	comma_query_getvalue_once              → Comma.GetValueOnce
+//
+// The notification mode of a registration — silent PDA updates (the
+// default), interrupt callback (WithCallback), client-driven PDA
+// refresh (WithPDA), or explicit polling (WithPoll) — is selected by
+// functional options on Comma.Register. The older Client methods
+// remain as thin deprecated wrappers over the same machinery.
 package eem
 
 import (

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPolicyDeterminism is the adaptation-trace gate: two in-process
+// runs of the adaptive-services scenario with the same seed must
+// produce byte-identical output — transfers, policy transitions, trace,
+// event log, metrics, everything — and that output must contain at
+// least one full fire and revert per engine.
+func TestPolicyDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := AdaptDemo(42, &a); err != nil {
+		t.Fatalf("run 1: %v\n%s", err, a.String())
+	}
+	if err := AdaptDemo(42, &b); err != nil {
+		t.Fatalf("run 2: %v\n%s", err, b.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		la, lb := strings.Split(a.String(), "\n"), strings.Split(b.String(), "\n")
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if la[i] != lb[i] {
+				t.Fatalf("outputs diverge at line %d:\n run1: %s\n run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("outputs differ in length: %d vs %d bytes", a.Len(), b.Len())
+	}
+	out := a.String()
+	for _, want := range []string{"policy\tfire\tcompress", "policy\tfire\texpand",
+		"policy\trevert\tcompress", "policy\trevert\texpand"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("adaptation trace missing %q:\n%s", want, out)
+		}
+	}
+}

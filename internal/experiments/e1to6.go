@@ -75,18 +75,18 @@ func runE1(w io.Writer) {
 
 func runE2(w io.Writer) {
 	sys := core.NewSystem(core.Config{Seed: 12, WithUser: true, EEMInterval: 10 * time.Second})
-	client := eem.NewClient(eem.SimDialer(sys.UserTCP))
+	cm := eem.NewComma(eem.SimDialer(sys.UserTCP))
 	id := eem.ID{Var: "sysUpTime", Server: "11.11.9.1"}
 	attr := eem.Attr{Lower: eem.LongValue(0), Upper: eem.LongValue(2000), Op: eem.IN}
-	if err := client.Register(id, attr); err != nil {
+	if err := cm.Register(id, attr); err != nil {
 		fmt.Fprintf(w, "register: %v\n", err)
 		return
 	}
 	fmt.Fprintf(w, "registered %s with IN [0,2000] (TimeTicks); polling PDA every 10s:\n", id)
 	for i := 0; i < 12; i++ {
 		sys.Sched.RunFor(10 * time.Second)
-		if client.HasChanged(id) {
-			v, _ := client.Value(id)
+		if cm.HasChanged(id) {
+			v, _ := cm.GetValue(id)
 			fmt.Fprintf(w, "  t=%3ds  sysUpTime changed: %s\n", (i+1)*10, v)
 		} else {
 			fmt.Fprintf(w, "  t=%3ds  (no update — variable outside region)\n", (i+1)*10)
@@ -115,8 +115,8 @@ func runE3(w io.Writer) {
 		c.OnData = func(b []byte) { onReply(string(b)) }
 		return kati.NewSPSession(func(line string) error { return c.Write([]byte(line)) }, func() { c.Close() }), nil
 	}
-	eemClient := eem.NewClient(eem.SimDialer(sys.UserTCP))
-	shell := kati.New(w, spDial, eemClient)
+	cm := eem.NewComma(eem.SimDialer(sys.UserTCP))
+	shell := kati.New(w, spDial, cm)
 	run := func(cmd string) {
 		fmt.Fprintf(w, "kati> %s\n", cmd)
 		shell.Exec(cmd)

@@ -51,15 +51,19 @@ func ObsDemo(seed int64, w io.Writer) error {
 	// an interrupt registration. Their per-tick wire order is the
 	// determinism hazard the ordered session registry fixes.
 	always := eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE}
-	userClient := eem.NewClient(eem.SimDialer(sys.UserTCP))
+	userClient := eem.NewComma(eem.SimDialer(sys.UserTCP))
 	if err := userClient.Register(eem.ID{Var: "sysUpTime", Server: "11.11.9.1"}, always); err != nil {
 		return fmt.Errorf("obsdemo: user register: %w", err)
 	}
+	// Interrupt-mode registration (WithCallback turns the server-side
+	// interrupt flag on); the demo only cares about the wire traffic,
+	// so the callback discards the notification.
 	if err := userClient.Register(eem.ID{Var: "tcpCurrEstab", Server: "11.11.9.1"},
-		eem.Attr{Lower: eem.LongValue(0), Op: eem.GT, Interrupt: true}); err != nil {
+		eem.Attr{Lower: eem.LongValue(0), Op: eem.GT},
+		eem.WithCallback(func(eem.ID, eem.Value) {})); err != nil {
 		return fmt.Errorf("obsdemo: user register: %w", err)
 	}
-	wiredClient := eem.NewClient(eem.SimDialer(sys.WiredTCP))
+	wiredClient := eem.NewComma(eem.SimDialer(sys.WiredTCP))
 	if err := wiredClient.Register(eem.ID{Var: "sysUpTime", Server: core.ProxyCtrlAddr.String()}, always); err != nil {
 		return fmt.Errorf("obsdemo: wired register: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eem"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 )
 
 // Chaos is the chaos soak scenario behind `wsim -chaos` and
@@ -70,9 +71,12 @@ func Chaos(seed int64, w io.Writer) error {
 
 	// A supervised EEM client rides the whole soak: when the server
 	// crashes mid-leg it must back off, redial, and re-register.
-	client := eem.NewClient(eem.SimDialer(sys.WiredTCP))
+	client := eem.NewComma(eem.SimDialer(sys.WiredTCP))
 	client.SetObs(sys.Obs)
-	client.Supervise(sys.Sched, eem.SuperviseConfig{BaseDelay: 250 * time.Millisecond, MaxDelay: 4 * time.Second})
+	client.UseScheduler(sys.Sched)
+	if err := client.Supervise(eem.SuperviseConfig{BaseDelay: 250 * time.Millisecond, MaxDelay: 4 * time.Second}); err != nil {
+		return fmt.Errorf("chaos: supervise: %w", err)
+	}
 	upID := eem.ID{Var: "sysUpTime", Server: core.ProxyCtrlAddr.String()}
 	if err := client.Register(upID, eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE}); err != nil {
 		return fmt.Errorf("chaos: register: %w", err)
@@ -140,6 +144,52 @@ func Chaos(seed int64, w io.Writer) error {
 		}
 	}
 
+	// Policy phase: a policy engine rides the same supervised client
+	// and drives the SP through a degrade/restore cycle. The wireless
+	// bandwidth drops under the rule's enter bound, the engine loads
+	// the compress filter; bandwidth recovers, the engine withdraws it.
+	// The stream key is deliberately unused so the filter attach is
+	// inert on this single-proxy topology.
+	fmt.Fprintf(w, "\n=== policy phase ===\n")
+	eng := policy.New(policy.Config{
+		Sched:   sys.Sched,
+		Comma:   client,
+		Control: sys.Plane,
+		Server:  core.ProxyCtrlAddr.String(),
+		Bus:     sys.Obs,
+		Period:  250 * time.Millisecond,
+	})
+	eng.RegisterMetrics(sys.Metrics, "policy")
+	rule := fmt.Sprintf("squeeze when ifSpeed:1 LT 1000000 for 2 then load comp:6 on %v 7777 %v 7778 rate 1",
+		core.WiredAddr, core.MobileAddr)
+	if err := eng.AddRule(rule); err != nil {
+		return fmt.Errorf("chaos: policy rule: %w", err)
+	}
+	eng.Start()
+	inj.DegradeLink("wireless", sys.Wireless, 250*time.Millisecond, 3*time.Second,
+		256_000, netsim.Bernoulli{})
+	sys.Sched.RunFor(7 * time.Second)
+	var policyFires, policyReverts int
+	for _, e := range sys.Obs.Events() {
+		if e.Subsys != "policy" {
+			continue
+		}
+		switch e.Kind {
+		case "fire":
+			policyFires++
+		case "revert":
+			policyReverts++
+		}
+	}
+	fmt.Fprintf(w, "policy fires=%d reverts=%d\n", policyFires, policyReverts)
+	fmt.Fprint(w, eng.Command([]string{"list"}))
+	if policyFires == 0 {
+		return fmt.Errorf("chaos: policy engine never fired on the degraded link")
+	}
+	if policyReverts == 0 {
+		return fmt.Errorf("chaos: policy engine never reverted after the link recovered")
+	}
+
 	// Recoverability: the control plane answers, the quarantine fired,
 	// and the supervised client holds fresh (non-stale) data again.
 	report := sys.MustCommand("report")
@@ -162,7 +212,7 @@ func Chaos(seed int64, w io.Writer) error {
 	if reconnects == 0 {
 		return fmt.Errorf("chaos: supervised EEM client never reconnected (redials=%d)", redials)
 	}
-	if _, ok := client.Value(upID); !ok || client.Stale(upID) {
+	if _, ok := client.GetValue(upID); !ok || client.Stale(upID) {
 		return fmt.Errorf("chaos: EEM client did not recover fresh data (stale=%v)", client.Stale(upID))
 	}
 

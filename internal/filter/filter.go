@@ -6,6 +6,7 @@
 package filter
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -17,6 +18,19 @@ import (
 	"repro/internal/tcp"
 	"repro/internal/udp"
 )
+
+// ErrUnknownFilter marks a name the catalog has no factory for.
+// Catalog.Load wraps it in an error that keeps the historical message
+// (including the catalog listing), so callers branch with errors.Is
+// while control-session output stays unchanged.
+var ErrUnknownFilter = errors.New("filter: unknown filter")
+
+// unknownFilterError keeps the exact legacy message while exposing
+// ErrUnknownFilter through errors.Is.
+type unknownFilterError struct{ msg string }
+
+func (e *unknownFilterError) Error() string { return e.msg }
+func (e *unknownFilterError) Unwrap() error { return ErrUnknownFilter }
 
 // Key identifies a unidirectional communication stream: the ordered
 // quadruple of source address/port and destination address/port
@@ -413,8 +427,8 @@ func (c *Catalog) Load(name string) (Factory, error) {
 	defer c.mu.Unlock()
 	ctor, ok := c.factories[name]
 	if !ok {
-		return nil, fmt.Errorf("filter: no factory %q in catalog (have %s)",
-			name, strings.Join(c.names(), ", "))
+		return nil, &unknownFilterError{msg: fmt.Sprintf("filter: no factory %q in catalog (have %s)",
+			name, strings.Join(c.names(), ", "))}
 	}
 	return ctor(), nil
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cmdspec"
 	"repro/internal/eem"
 )
 
@@ -42,28 +43,24 @@ type SPDialer func(addr string, onReply func(string)) (*SPSession, error)
 type Shell struct {
 	out     io.Writer
 	spDial  SPDialer
-	eem     *eem.Client
+	eem     *eem.Comma
 	sps     map[string]*SPSession
 	current string // address of the currently selected SP
 	watches map[eem.ID]bool
 }
 
 // New creates a shell writing to out, dialing proxies with spDial and
-// EEM servers through eemClient.
-func New(out io.Writer, spDial SPDialer, eemClient *eem.Client) *Shell {
-	sh := &Shell{
+// EEM servers through cm (the comma_* client facade). Watched
+// variables register with an interrupt callback that prints each
+// in-region update.
+func New(out io.Writer, spDial SPDialer, cm *eem.Comma) *Shell {
+	return &Shell{
 		out:     out,
 		spDial:  spDial,
-		eem:     eemClient,
+		eem:     cm,
 		sps:     make(map[string]*SPSession),
 		watches: make(map[eem.ID]bool),
 	}
-	if eemClient != nil {
-		eemClient.SetCallback(func(id eem.ID, v eem.Value) {
-			fmt.Fprintf(out, "[eem] %s = %s\n", id, v)
-		})
-	}
-	return sh
 }
 
 // Exec runs one command line.
@@ -82,9 +79,6 @@ func (sh *Shell) Exec(line string) {
 		sh.cmdSPs()
 	case "use":
 		sh.cmdUse(rest)
-	case "streams", "filters", "report", "stats", "events", "load", "remove", "add", "delete",
-		"service", "unservice", "services", "auth":
-		sh.forward(cmd, rest)
 	case "vars":
 		sh.cmdVars(rest)
 	case "get":
@@ -96,6 +90,12 @@ func (sh *Shell) Exec(line string) {
 	case "status":
 		sh.cmdStatus()
 	default:
+		// SP commands forward verbatim to the selected proxy; the shared
+		// grammar table decides which names qualify.
+		if cmdspec.KatiForwards(cmd) {
+			sh.forward(cmd, rest)
+			return
+		}
 		fmt.Fprintf(sh.out, "kati: unknown command %q (try help)\n", cmd)
 	}
 }
@@ -105,25 +105,15 @@ func (sh *Shell) help() {
   sp <addr[:port]>            connect to a service proxy
   sps                         list connected proxies
   use <addr>                  select the current proxy
-  streams                     active streams on the current proxy
-  filters                     filters loaded on the current proxy
-  report [filter]             per-filter stream report
-  stats                       unified metrics snapshot (proxy/links/tcp/eem)
-  events [n]                  tail of the observability event log
-  load <filter>               load a filter library
-  remove <filter>             unload a filter library
-  add <f> <sIP> <sP> <dIP> <dP> [args]   add a filter/service to a stream key
-  delete <f> <sIP> <sP> <dIP> <dP>       remove a filter/service
-  service <name> <filter[:args]>...      define a named composition
-  services                               list defined services
-  auth <token>                           authenticate a guarded proxy
   vars <server>               list EEM variables
   get <server> <var> [index]  poll a variable once
   watch <server> <var> <op> <lower> [upper]   register interest
   unwatch <server> <var>      deregister
   status                      show watched variables (protected data area)
   help                        this text
+forwarded to the current service proxy:
 `)
+	fmt.Fprint(sh.out, cmdspec.KatiHelp())
 }
 
 func (sh *Shell) cmdSP(args []string) {
@@ -234,7 +224,7 @@ func (sh *Shell) cmdGet(args []string) {
 			return
 		}
 	}
-	err := sh.eem.PollOnce(id, func(v eem.Value, err error) {
+	err := sh.eem.GetValueOnce(id, func(v eem.Value, err error) {
 		if err != nil {
 			fmt.Fprintf(sh.out, "[eem] %s: %v\n", id, err)
 			return
@@ -261,7 +251,7 @@ func (sh *Shell) cmdWatch(args []string) {
 		fmt.Fprintf(sh.out, "kati: %v\n", err)
 		return
 	}
-	attr := eem.Attr{Op: op, Interrupt: true}
+	attr := eem.Attr{Op: op}
 	if attr.Lower, err = parseValue(args[3]); err != nil {
 		fmt.Fprintf(sh.out, "kati: bad lower bound: %v\n", err)
 		return
@@ -275,7 +265,10 @@ func (sh *Shell) cmdWatch(args []string) {
 		fmt.Fprintln(sh.out, "kati: IN/OUT need both bounds")
 		return
 	}
-	if err := sh.eem.Register(id, attr); err != nil {
+	err = sh.eem.Register(id, attr, eem.WithCallback(func(id eem.ID, v eem.Value) {
+		fmt.Fprintf(sh.out, "[eem] %s = %s\n", id, v)
+	}))
+	if err != nil {
 		fmt.Fprintf(sh.out, "kati: %v\n", err)
 		return
 	}
@@ -308,9 +301,9 @@ func (sh *Shell) cmdStatus() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
 	for _, id := range ids {
-		if v, ok := sh.eem.Value(id); ok {
+		if v, ok := sh.eem.GetValue(id); ok {
 			in := " "
-			if sh.eem.InRange(id) {
+			if sh.eem.IsInRange(id) {
 				in = "*"
 			}
 			fmt.Fprintf(sh.out, "%s %s = %s\n", in, id, v)

@@ -101,8 +101,8 @@ func newKatiRig(t *testing.T) *katiRig {
 			func() { c.Close() },
 		), nil
 	}
-	eemClient := eem.NewClient(eem.SimDialer(userStack))
-	rig.shell = kati.New(&rig.out, spDial, eemClient)
+	cm := eem.NewComma(eem.SimDialer(userStack))
+	rig.shell = kati.New(&rig.out, spDial, cm)
 	return rig
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"repro/internal/cmdspec"
 	"repro/internal/filter"
 	"repro/internal/ip"
 	"repro/internal/obs"
@@ -52,30 +53,27 @@ func (p *Proxy) Exec(line string) string {
 	return p.exec(fields)
 }
 
-func (p *Proxy) exec(fields []string) string {
-	cmd, rest := fields[0], fields[1:]
-	switch cmd {
-	case "load":
-		if len(rest) != 1 {
-			return "error: usage: load <filter-lib>\n"
-		}
+// execHandlers dispatches command names to proxy operations. The
+// grammar — arity bounds, usage diagnostics, help, mutation class —
+// comes from the shared cmdspec table, so this map holds only the
+// semantics. Table entries without a handler here (auth, which the
+// ControlSession intercepts, and plane extensions like policy) fall
+// through to the unknown-command diagnostic on a bare proxy.
+var execHandlers = map[string]func(p *Proxy, rest []string) string{
+	"load": func(p *Proxy, rest []string) string {
 		name, err := p.LoadFilter(rest[0])
 		if err != nil {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return name + "\n"
-	case "remove":
-		if len(rest) != 1 {
-			return "error: usage: remove <filter-lib>\n"
-		}
+	},
+	"remove": func(p *Proxy, rest []string) string {
 		if err := p.UnloadFilter(rest[0]); err != nil {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return ""
-	case "add":
-		if len(rest) < 5 {
-			return "error: usage: add <filter> <srcIP> <srcPort> <dstIP> <dstPort> [args]\n"
-		}
+	},
+	"add": func(p *Proxy, rest []string) string {
 		k, err := filter.ParseKey(rest[1:5])
 		if err != nil {
 			return fmt.Sprintf("error: %v\n", err)
@@ -84,10 +82,8 @@ func (p *Proxy) exec(fields []string) string {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return ""
-	case "delete":
-		if len(rest) != 5 {
-			return "error: usage: delete <filter> <srcIP> <srcPort> <dstIP> <dstPort>\n"
-		}
+	},
+	"delete": func(p *Proxy, rest []string) string {
 		k, err := filter.ParseKey(rest[1:5])
 		if err != nil {
 			return fmt.Sprintf("error: %v\n", err)
@@ -96,32 +92,30 @@ func (p *Proxy) exec(fields []string) string {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return ""
-	case "service":
-		// service <name> <filter[:args]>... — define a composition
-		// (thesis §10.2.1's layered service abstraction).
-		if len(rest) < 2 {
-			return "error: usage: service <name> <filter[:args]>...\n"
-		}
+	},
+	// service <name> <filter[:args]>... — define a composition
+	// (thesis §10.2.1's layered service abstraction).
+	"service": func(p *Proxy, rest []string) string {
 		if err := p.DefineService(rest[0], rest[1:]); err != nil {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return ""
-	case "unservice":
-		if len(rest) != 1 {
-			return "error: usage: unservice <name>\n"
-		}
+	},
+	"unservice": func(p *Proxy, rest []string) string {
 		if err := p.UndefineService(rest[0]); err != nil {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return ""
-	case "services":
+	},
+	"services": func(p *Proxy, rest []string) string {
 		var b strings.Builder
 		for _, n := range p.Services() {
 			specs, _ := p.ServiceSpec(n)
 			fmt.Fprintf(&b, "%s = %s\n", n, strings.Join(specs, " "))
 		}
 		return b.String()
-	case "report":
+	},
+	"report": func(p *Proxy, rest []string) string {
 		name := ""
 		if len(rest) > 0 {
 			name = rest[0]
@@ -131,9 +125,10 @@ func (p *Proxy) exec(fields []string) string {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return out
-	case "filters":
-		// Extension used by Kati: the loaded pool and what the catalog
-		// could still load.
+	},
+	// filters: extension used by Kati — the loaded pool and what the
+	// catalog could still load.
+	"filters": func(p *Proxy, rest []string) string {
 		var b strings.Builder
 		for _, n := range p.LoadedFilters() {
 			desc := ""
@@ -152,39 +147,55 @@ func (p *Proxy) exec(fields []string) string {
 			}
 		}
 		return b.String()
-	case "streams":
-		// Extension used by Kati: per-stream packet/byte accounting.
+	},
+	// streams: extension used by Kati — per-stream accounting.
+	"streams": func(p *Proxy, rest []string) string {
 		var b strings.Builder
 		for _, si := range p.Streams() {
 			fmt.Fprintf(&b, "%s\t[%s]\t%d pkts %d bytes\n",
 				si.Key, strings.Join(si.Filters, ","), si.Packets, si.Bytes)
 		}
 		return b.String()
-	case "stats":
-		// Extension used by Kati: the unified metrics snapshot
-		// (proxy, links, TCP stacks, EEM — whatever is registered).
+	},
+	// stats: extension used by Kati — the unified metrics snapshot
+	// (proxy, links, TCP stacks, EEM — whatever is registered).
+	"stats": func(p *Proxy, rest []string) string {
 		if p.metrics == nil {
 			return "error: no metrics registry attached\n"
 		}
 		return p.metrics.Table("proxy statistics").String()
-	case "events":
-		// Extension used by Kati: the tail of the observability event
-		// log (default last 20 events).
+	},
+	// events: extension used by Kati — the tail of the observability
+	// event log (default last 20 events).
+	"events": func(p *Proxy, rest []string) string {
 		if p.obs == nil {
 			return "error: no event bus attached\n"
 		}
 		n := 20
 		if len(rest) > 0 {
 			if _, err := fmt.Sscanf(rest[0], "%d", &n); err != nil {
-				return "error: usage: events [n]\n"
+				spec, _ := cmdspec.Lookup("events")
+				return spec.UsageError()
 			}
 		}
 		return p.obs.Tail(n)
-	case "help":
-		return "commands: load remove add delete report streams filters service unservice services stats events auth help\n"
-	default:
+	},
+	"help": func(p *Proxy, rest []string) string {
+		return cmdspec.HelpLine()
+	},
+}
+
+func (p *Proxy) exec(fields []string) string {
+	cmd, rest := fields[0], fields[1:]
+	h, ok := execHandlers[cmd]
+	if !ok {
 		return fmt.Sprintf("error: unknown command %q\n", cmd)
 	}
+	spec, _ := cmdspec.Lookup(cmd)
+	if !spec.ArityOK(len(rest)) {
+		return spec.UsageError()
+	}
+	return h(p, rest)
 }
 
 // Commander executes SP command lines — implemented by *Proxy and by
@@ -316,14 +327,9 @@ func (cp *ControlPolicy) peerAllowed(addr ip.Addr) bool {
 	return false
 }
 
-// mutating reports whether a command changes proxy state.
-func mutating(cmd string) bool {
-	switch cmd {
-	case "load", "remove", "add", "delete", "service", "unservice":
-		return true
-	}
-	return false
-}
+// mutating reports whether a command changes proxy state (the shared
+// grammar table is authoritative).
+func mutating(cmd string) bool { return cmdspec.Mutating(cmd) }
 
 // ControlSession wraps Command with the per-connection authentication
 // state of a ControlPolicy.

@@ -1,0 +1,19 @@
+package proxy
+
+import "errors"
+
+// Typed sentinels for the SP control surface. The message text of the
+// wrapping errors is unchanged from the historical stringly errors
+// (the sentinel text is the old suffix), so control-session output and
+// golden experiment transcripts stay byte-identical while callers —
+// the policy engine's rollback path above all — branch with errors.Is.
+var (
+	// ErrNotLoaded marks an operation on a filter absent from the pool
+	// (and not a defined service).
+	ErrNotLoaded = errors.New("not loaded")
+	// ErrAlreadyLoaded marks a duplicate load.
+	ErrAlreadyLoaded = errors.New("already loaded")
+	// ErrNoSuchStream marks a delete that matched neither a
+	// registration nor a live attachment.
+	ErrNoSuchStream = errors.New("no such stream")
+)

@@ -334,7 +334,7 @@ func (p *Proxy) Metric(name string, index int) (float64, bool) {
 func (p *Proxy) Spawn(name string, k filter.Key, args []string) error {
 	f, ok := p.pool[name]
 	if !ok {
-		return fmt.Errorf("proxy: spawn: filter %q not loaded", name)
+		return fmt.Errorf("proxy: spawn: filter %q %w", name, ErrNotLoaded)
 	}
 	if k.IsWild() {
 		return fmt.Errorf("proxy: spawn: key %v is not exact", k)
@@ -570,7 +570,7 @@ func (p *Proxy) LoadFilter(name string) (string, error) {
 		return "", err
 	}
 	if _, dup := p.pool[f.Name()]; dup {
-		return "", fmt.Errorf("proxy: filter %q already loaded", f.Name())
+		return "", fmt.Errorf("proxy: filter %q %w", f.Name(), ErrAlreadyLoaded)
 	}
 	p.pool[f.Name()] = f
 	return f.Name(), nil
@@ -580,7 +580,7 @@ func (p *Proxy) LoadFilter(name string) (string, error) {
 // the pool along with its registrations and live attachments.
 func (p *Proxy) UnloadFilter(name string) error {
 	if _, ok := p.pool[name]; !ok {
-		return fmt.Errorf("proxy: filter %q not loaded", name)
+		return fmt.Errorf("proxy: filter %q %w", name, ErrNotLoaded)
 	}
 	delete(p.pool, name)
 	keep := p.registry[:0]
@@ -607,7 +607,7 @@ func (p *Proxy) AddFilter(name string, k filter.Key, args []string) error {
 		var ok bool
 		f, ok = p.pool[name]
 		if !ok {
-			return fmt.Errorf("proxy: filter %q not loaded", name)
+			return fmt.Errorf("proxy: filter %q %w", name, ErrNotLoaded)
 		}
 	}
 	// Remember the pre-add match-cache so a failed instantiation can
@@ -650,11 +650,13 @@ func (p *Proxy) AddFilter(name string, k filter.Key, args []string) error {
 func (p *Proxy) DeleteFilter(name string, k filter.Key) error {
 	_, isSvc := p.services[name]
 	if _, ok := p.pool[name]; !ok && !isSvc {
-		return fmt.Errorf("proxy: filter %q not loaded", name)
+		return fmt.Errorf("proxy: filter %q %w", name, ErrNotLoaded)
 	}
+	removedReg := false
 	keep := p.registry[:0]
 	for _, r := range p.registry {
 		if r.factory.Name() == name && r.key == k {
+			removedReg = true
 			continue
 		}
 		keep = append(keep, r)
@@ -664,16 +666,21 @@ func (p *Proxy) DeleteFilter(name string, k filter.Key) error {
 	// Remove attachments on the exact key and its reverse (filters
 	// conventionally attach both directions), or on all matching keys
 	// for a wild-card delete.
-	p.removeAttachments(name, func(qk filter.Key) bool {
+	removedAtt := p.removeAttachments(name, func(qk filter.Key) bool {
 		if k.IsWild() {
 			return k.Matches(qk)
 		}
 		return qk == k || qk == k.Reverse()
 	})
+	if !removedReg && removedAtt == 0 {
+		return fmt.Errorf("proxy: %w %v for filter %q", ErrNoSuchStream, k, name)
+	}
 	return nil
 }
 
-func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
+// removeAttachments detaches name's hooks from every queue whose key
+// matches, returning how many attachments were removed.
+func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) int {
 	// Sort the matching keys before touching them: OnClose hooks have
 	// observable effects (events, TCP teardown), so their order must
 	// not depend on map iteration.
@@ -684,6 +691,7 @@ func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	removed := 0
 	for _, qk := range keys {
 		q := p.queues[qk]
 		kept := q.attached[:0]
@@ -692,6 +700,7 @@ func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
 				if a.hooks.OnClose != nil {
 					a.hooks.OnClose()
 				}
+				removed++
 				continue
 			}
 			kept = append(kept, a)
@@ -704,6 +713,7 @@ func (p *Proxy) removeAttachments(name string, match func(filter.Key) bool) {
 				obs.F("pkts", q.pkts), obs.F("bytes", q.bytes))
 		}
 	}
+	return removed
 }
 
 // Report implements the "report" command: for each loaded filter (or
@@ -725,7 +735,7 @@ func (p *Proxy) ReportData(name string) ([]string, map[string][]string, error) {
 		_, isFilter := p.pool[name]
 		_, isSvc := p.services[name]
 		if !isFilter && !isSvc {
-			return nil, nil, fmt.Errorf("proxy: filter %q not loaded", name)
+			return nil, nil, fmt.Errorf("proxy: filter %q %w", name, ErrNotLoaded)
 		}
 	}
 	// Gather keys per filter: live attachments plus wild-card
