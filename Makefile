@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench bench-shard obs-determinism chaos adapt verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate obs-determinism chaos adapt verify
 
 build:
 	$(GO) build ./...
@@ -39,25 +39,41 @@ bench:
 
 # Sharded data-plane scaling curve: BenchmarkShardedIntercept sizes its
 # shard count from GOMAXPROCS, so sweeping -cpu 1,2,4,8 measures the
-# aggregate interception rate at 1/2/4/8 shards. The pkts/s metric per
-# shard count lands in BENCH_shard.json.
+# aggregate interception rate at 1/2/4/8 shards through the batched
+# pipeline. The curve — plus the host CPU count it was measured on, the
+# batch size, the 8-vs-1 scaling ratio, and the regression floor
+# bench-gate enforces — lands in BENCH_shard.json.
 bench-shard:
-	$(GO) test ./internal/perf -run '^$$' -bench BenchmarkShardedIntercept \
+	$(GO) test ./internal/perf -run '^$$' -bench 'BenchmarkShardedIntercept$$' \
 		-benchmem -cpu 1,2,4,8 -count=1 | tee /tmp/bench_shard.txt
-	@awk 'BEGIN { split("1 2 4 8", order, " ") } \
-	/^BenchmarkShardedIntercept/ { \
-		n = split($$1, name, "-"); cpus = (n > 1) ? name[n] : 1; \
-		for (i = 2; i <= NF; i++) if ($$i == "pkts/s") rate[cpus] = $$(i-1); \
+	@awk -v cpus=$$(nproc 2>/dev/null || echo 1) -v batch=64 \
+	'BEGIN { split("1 2 4 8", order, " ") } \
+	$$1 ~ /^BenchmarkShardedIntercept(-[0-9]+)?$$/ { \
+		n = split($$1, name, "-"); sc = (n > 1) ? name[n] : 1; \
+		for (i = 2; i <= NF; i++) if ($$i == "pkts/s") rate[sc] = $$(i-1); \
 	} \
 	END { \
-		printf "{\n  \"benchmark\": \"BenchmarkShardedIntercept\",\n  \"metric\": \"pkts/s\",\n  \"shards\": {"; \
+		printf "{\n  \"benchmark\": \"BenchmarkShardedIntercept\",\n  \"metric\": \"pkts/s\",\n"; \
+		printf "  \"host_cpus\": %d,\n  \"batch\": %d,\n  \"shards\": {", cpus, batch; \
 		sep = ""; \
 		for (j = 1; j <= 4; j++) if (order[j] in rate) { \
-			printf "%s\n    \"%s\": %s", sep, order[j], rate[order[j]]; sep = ","; \
+			printf "%s\n    \"%s\": %d", sep, order[j], rate[order[j]]; sep = ","; \
 		} \
-		printf "\n  }\n}\n"; \
+		printf "\n  }"; \
+		if (("1" in rate) && ("8" in rate) && rate["1"] > 0) { \
+			printf ",\n  \"scale_8v1\": %.2f,\n  \"floor_8shard\": %d", \
+				rate["8"] / rate["1"], rate["8"] * 0.7; \
+		} \
+		printf "\n}\n"; \
 	}' /tmp/bench_shard.txt > BENCH_shard.json
 	@cat BENCH_shard.json
+
+# Throughput regression gate: a fresh short run of the batched
+# benchmark checked against hard invariants (no shard collapse; linear
+# scaling on hosts with the cores for it) and against the committed
+# BENCH_shard.json floor when the host matches the one that recorded it.
+bench-gate:
+	./scripts/bench_gate.sh
 
 # Two separate processes run the observability demo with the same seed;
 # their full event logs and metrics snapshots must be byte-identical.

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	spd [-listen :12000] [-loss 0.02] [-bw 2000000] [-shards 4]
-//	    [-policy '<rule>' ...]
+//	    [-batch 64] [-policy '<rule>' ...]
 //
 // Each -policy flag (repeatable) arms one adaptive rule on the policy
 // engine; rule state is then inspectable over the control port with
@@ -44,6 +44,7 @@ func main() {
 	bw := flag.Int64("bw", 2e6, "wireless bandwidth, bits/s")
 	debug := flag.String("debug", "", "address for expvar/pprof debug HTTP (e.g. localhost:6060); empty disables")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "data-plane shard count (1 = classic single interception loop)")
+	batch := flag.Int("batch", 0, "concurrent data-plane ring-slot batch size (0 = default; only shapes concurrent planes — the inline simulation intercepts synchronously and ignores it)")
 	var rules multiFlag
 	flag.Var(&rules, "policy", "adaptive policy rule (repeatable); see internal/policy for the grammar")
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 	sys := core.NewSystem(core.Config{
 		Seed:   time.Now().UnixNano(),
 		Shards: *shards,
+		Batch:  *batch,
 		Wireless: netsim.LinkConfig{
 			Bandwidth: *bw,
 			Delay:     10 * time.Millisecond,

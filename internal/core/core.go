@@ -55,7 +55,12 @@ type Config struct {
 	// single interception loop, byte-for-byte deterministic; N>1
 	// partitions proxy state by flow-steering hash, still inline and
 	// deterministic inside the simulator).
-	Shards      int
+	Shards int
+	// Batch is the concurrent data plane's ring-slot batch size
+	// (dataplane.DefaultBatchSize when 0). It only shapes planes built
+	// through NewConcurrentPlane — the inline plane NewSystem installs
+	// intercepts synchronously and never batches.
+	Batch       int
 	EEMInterval time.Duration
 	// WithUser adds a Kati workstation node wired to the proxy.
 	WithUser bool
@@ -270,6 +275,28 @@ func NewSystem(cfg Config) *System {
 		sys.Policy.Start()
 	}
 	return sys
+}
+
+// NewConcurrentPlane builds a standalone concurrent (batched,
+// goroutine-per-shard) data plane from the same Config knobs the
+// simulated deployment uses — Seed, Shards, Batch — with the full
+// filter catalog registered. It is the assembly path for throughput
+// work outside the deterministic simulator: benchmarks, stress
+// harnesses, and eventual kernel-bypass backends. The caller owns the
+// plane's lifecycle (Close) and its sink.
+func NewConcurrentPlane(cfg Config, sink dataplane.Sink) *dataplane.Plane {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cat := filter.NewCatalog()
+	filters.RegisterAll(cat)
+	return dataplane.NewConcurrent(dataplane.ConcurrentConfig{
+		Shards:    cfg.Shards,
+		Catalog:   cat,
+		Seed:      cfg.Seed,
+		BatchSize: cfg.Batch,
+		Sink:      sink,
+	})
 }
 
 func registerStacks(node *netsim.Node, t *tcp.Stack, u *udp.Stack) {

@@ -17,11 +17,26 @@ import (
 	"repro/internal/sim"
 )
 
-// Sink receives each shard's interception output in concurrent mode.
-// out is the shard proxy's borrowed emit slice — it is valid only
-// until that shard's next packet, so the sink must consume (forward,
-// count, copy) synchronously, exactly like netsim's hook contract.
+// Sink receives each shard's interception output in concurrent mode,
+// one call per drained batch: out holds the surviving datagrams of
+// every packet in the batch, in interception order. The slice is the
+// shard's reusable delivery buffer — valid only until that shard's
+// next batch — so the sink must consume (forward, count, copy)
+// synchronously, exactly like netsim's hook contract. The referenced
+// buffers themselves are stable (see proxy.InterceptAppend).
 type Sink func(shard int, out [][]byte)
+
+// DefaultBatchSize is the number of packets accumulated per ring slot
+// when ConcurrentConfig.BatchSize is zero. Batching amortizes the
+// per-slot handoff (atomics, empty-transition wakeup, consumer
+// park/unpark) over the batch, which is what lets the concurrent
+// plane scale with shards instead of drowning in per-packet signaling.
+const DefaultBatchSize = 64
+
+// DefaultFlushInterval bounds how long a partial batch may sit in a
+// shard's open arena before the flush timer seals it, keeping latency
+// deterministic under trickle traffic.
+const DefaultFlushInterval = time.Millisecond
 
 // Plane is the sharded data plane: N proxy shards behind a
 // flow-steering dispatcher, plus the epoch/quiesce control plane that
@@ -39,6 +54,11 @@ type Plane struct {
 	// observes epoch E is guaranteed every shard has applied mutations
 	// 1..E: the counter is bumped only after the quiesce barrier.
 	epoch atomic.Uint64
+
+	// flushStop/flushDone bracket the flush-timer goroutine that seals
+	// aged partial batches (concurrent mode, FlushInterval >= 0).
+	flushStop chan struct{}
+	flushDone chan struct{}
 
 	// watchdogTrips counts shard-stall detections (concurrent mode).
 	watchdogTrips atomic.Int64
@@ -76,17 +96,30 @@ type ConcurrentConfig struct {
 	// Seed seeds each shard's private scheduler (shard i gets
 	// Seed + i), so filters drawing randomness stay single-writer.
 	Seed int64
-	// RingSize bounds each shard's SPSC ring (rounded up to a power
-	// of two; default 1024).
+	// RingSize bounds each shard's SPSC ring in batch slots (rounded
+	// up to a power of two; default 1024). The ring's capacity in
+	// packets is RingSize × BatchSize.
 	RingSize int
+	// BatchSize is the number of packets accumulated per ring slot
+	// (DefaultBatchSize when 0). 1 degenerates to the per-packet
+	// handoff of the pre-batching plane — every packet pays the full
+	// slot cost — and exists for comparison benchmarks and tests.
+	BatchSize int
+	// FlushInterval bounds how long a partial batch may wait in a
+	// shard's open arena before the flush timer seals it
+	// (DefaultFlushInterval when 0). Negative disables the timer:
+	// partial batches then move only at size, quiesce, Drain, or
+	// Close boundaries — tests use this for deterministic batching.
+	FlushInterval time.Duration
 	// Sink receives interception output; nil discards it.
 	Sink Sink
 }
 
 // NewConcurrent builds a plane with one goroutine per shard, each fed
-// by a bounded SPSC ring. Each shard owns a private scheduler and node
-// (filter timers never fire — this mode is for throughput paths and
-// stress tests, not the deterministic experiments; see DESIGN.md).
+// whole batches through a bounded SPSC ring. Each shard owns a private
+// scheduler and node (filter timers never fire — this mode is for
+// throughput paths and stress tests, not the deterministic
+// experiments; see DESIGN.md).
 func NewConcurrent(cfg ConcurrentConfig) *Plane {
 	n := cfg.Shards
 	if n < 1 {
@@ -96,20 +129,27 @@ func NewConcurrent(cfg ConcurrentConfig) *Plane {
 	if size <= 0 {
 		size = 1024
 	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
 	pl := &Plane{n: n}
 	for i := 0; i < n; i++ {
 		s := sim.NewScheduler(cfg.Seed + int64(i))
 		net := netsim.New(s)
 		node := net.AddNode(fmt.Sprintf("shard%d", i))
 		w := &worker{
-			idx:  i,
-			prox: proxy.NewDetached(node, cfg.Catalog),
-			ring: newRing(size),
-			sink: cfg.Sink,
-			ctrl: make(chan ctrlMsg, 4),
-			wake: make(chan struct{}, 1),
-			stop: make(chan struct{}),
-			done: make(chan struct{}),
+			idx:      i,
+			prox:     proxy.NewDetached(node, cfg.Catalog),
+			ring:     newRing(size),
+			free:     newRing(size + 2), // every in-flight arena fits: ring slots + open + draining
+			sink:     cfg.Sink,
+			batchCap: batch,
+			open:     make([][]byte, 0, batch),
+			ctrl:     make(chan ctrlMsg, 4),
+			wake:     make(chan struct{}, 1),
+			stop:     make(chan struct{}),
+			done:     make(chan struct{}),
 		}
 		pl.shards = append(pl.shards, w.prox)
 		pl.workers = append(pl.workers, w)
@@ -117,7 +157,37 @@ func NewConcurrent(cfg ConcurrentConfig) *Plane {
 	for _, w := range pl.workers {
 		go w.run()
 	}
+	interval := cfg.FlushInterval
+	if interval == 0 {
+		interval = DefaultFlushInterval
+	}
+	if interval > 0 {
+		pl.flushStop = make(chan struct{})
+		pl.flushDone = make(chan struct{})
+		go pl.flushLoop(interval)
+	}
 	return pl
+}
+
+// flushLoop is the partial-batch flush timer: every interval it seals
+// any open arena holding packets, bounding how long a packet can wait
+// for its batch to fill under trickle traffic.
+func (pl *Plane) flushLoop(interval time.Duration) {
+	defer close(pl.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-pl.flushStop:
+			return
+		case <-t.C:
+			for _, w := range pl.workers {
+				if w.pending() {
+					w.flush()
+				}
+			}
+		}
+	}
 }
 
 // N returns the shard count.
@@ -142,52 +212,64 @@ func (pl *Plane) Hook(raw []byte, in *netsim.Iface) [][]byte {
 	if pl.n == 1 {
 		return pl.shards[0].Intercept(raw, in)
 	}
-	si := 0
-	if k, ok := filter.SteerKey(raw); ok {
-		si = ShardOf(k, pl.n)
-	}
-	return pl.shards[si].Intercept(raw, in)
+	return pl.shards[pl.steer(raw)].Intercept(raw, in)
 }
 
-// Dispatch steers raw onto its shard's ring (concurrent mode). A full
-// ring applies backpressure: the dispatcher wakes the consumer and
+// Dispatch steers raw into its shard's open batch arena (concurrent
+// mode). The packet reaches the shard when the arena fills to the
+// batch size, the flush timer fires, or a quiesce/Drain seals it. A
+// full ring applies backpressure: the producer wakes the consumer and
 // yields until a slot frees, so packets are delayed, never dropped.
 func (pl *Plane) Dispatch(raw []byte) {
-	si := 0
-	if pl.n > 1 {
-		if k, ok := filter.SteerKey(raw); ok {
-			si = ShardOf(k, pl.n)
+	pl.workers[pl.steer(raw)].enqueue(raw)
+}
+
+// DispatchBurst steers a burst of packets, paying the per-shard
+// producer lock once per run of consecutive same-shard packets — the
+// receive-burst idiom of DPDK-style planes, where packets arrive in
+// bursts that often share flows.
+func (pl *Plane) DispatchBurst(raws [][]byte) {
+	if len(raws) == 0 {
+		return
+	}
+	start, cur := 0, pl.steer(raws[0])
+	for i := 1; i < len(raws); i++ {
+		if si := pl.steer(raws[i]); si != cur {
+			pl.workers[cur].enqueueBurst(raws[start:i])
+			start, cur = i, si
 		}
 	}
-	w := pl.workers[si]
-	for {
-		ok, wasEmpty := w.ring.push(raw)
-		if ok {
-			if wasEmpty {
-				w.wakeup()
-			}
-			return
-		}
-		w.stalls.Add(1)
-		w.wakeup()
-		runtime.Gosched()
+	pl.workers[cur].enqueueBurst(raws[start:])
+}
+
+// Flush seals every shard's open partial batch onto its ring. Drain
+// and the quiesce broadcast call it implicitly; tests running with the
+// flush timer disabled call it directly.
+func (pl *Plane) Flush() {
+	if pl.inline() {
+		return
+	}
+	for _, w := range pl.workers {
+		w.flush()
 	}
 }
 
-// Drain blocks until every ring is empty and every shard has passed a
-// packet boundary — all packets dispatched before the call have been
-// fully processed. The caller must not dispatch concurrently.
+// Drain blocks until every open batch is sealed, every ring is empty,
+// and every shard has passed a batch boundary — all packets dispatched
+// before the call have been fully processed and delivered. The caller
+// must not dispatch concurrently.
 func (pl *Plane) Drain() {
 	if pl.inline() {
 		return
 	}
 	for _, w := range pl.workers {
+		w.flush()
 		for w.ring.len() > 0 {
 			w.wakeup()
 			runtime.Gosched()
 		}
 	}
-	pl.do(func(int, *proxy.Proxy) {}) // quiesce: in-flight packet completes
+	pl.do(func(int, *proxy.Proxy) {}) // quiesce: in-flight batch completes
 }
 
 // Stalls returns the total dispatcher spins on full rings — a
@@ -200,14 +282,42 @@ func (pl *Plane) Stalls() int64 {
 	return t
 }
 
-// Close stops the shard goroutines after draining their rings. The
-// plane must not be used afterwards. No-op in inline mode.
+// Batches returns the total batches drained across shards.
+func (pl *Plane) Batches() int64 {
+	var t int64
+	for _, w := range pl.workers {
+		t += w.batches.Load()
+	}
+	return t
+}
+
+// Wakeups returns the total wakeup signals sent to shard goroutines —
+// at most one per batch by construction. Batches()/Wakeups() is the
+// handoff amortization factor the batching exists to maximize.
+func (pl *Plane) Wakeups() int64 {
+	var t int64
+	for _, w := range pl.workers {
+		t += w.wakes.Load()
+	}
+	return t
+}
+
+// Close stops the shard goroutines after sealing open batches and
+// draining the rings. The plane must not be used afterwards. No-op in
+// inline mode.
 func (pl *Plane) Close() {
 	if pl.inline() || pl.closed {
 		return
 	}
 	pl.closed = true
+	if pl.flushStop != nil {
+		// Stop the flush timer first: a flush racing the workers'
+		// stop-drain could seal a batch after its ring was drained.
+		close(pl.flushStop)
+		<-pl.flushDone
+	}
 	for _, w := range pl.workers {
+		w.flush()
 		close(w.stop)
 		w.wakeup()
 	}
@@ -219,13 +329,18 @@ func (pl *Plane) Close() {
 // --- shard watchdog ----------------------------------------------------------
 
 // StartWatchdog launches a wall-clock monitor over the concurrent
-// shards: a shard that holds backlog (ring packets or queued control
-// messages) across a full interval without processing anything is
+// shards: a shard that holds backlog (ring batches or queued control
+// messages) across a full interval without making any progress is
 // flagged stalled, counted in WatchdogTrips, and nudged awake — which
-// also heals the one benign cause, a lost wakeup. The flag clears on
-// its own when the shard makes progress again. Inline planes run on
-// the caller's goroutine and cannot stall independently, so the
-// watchdog is a no-op there. Returns a stop function (idempotent).
+// also heals the one benign cause, a lost wakeup. Progress is the
+// worker's fine-grained counter — batch pickups, every packet inside a
+// batch, control executions — not completed batches: a shard grinding
+// through a large in-flight batch advances it packet by packet and is
+// never spuriously flagged just because no whole batch finished within
+// the interval. The flag clears on its own when the shard makes
+// progress again. Inline planes run on the caller's goroutine and
+// cannot stall independently, so the watchdog is a no-op there.
+// Returns a stop function (idempotent).
 func (pl *Plane) StartWatchdog(interval time.Duration) (stop func()) {
 	if pl.inline() {
 		return func() {}
@@ -245,7 +360,7 @@ func (pl *Plane) StartWatchdog(interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				for i, w := range pl.workers {
-					p := w.processed.Load()
+					p := w.progress.Load()
 					backlog := w.ring.len() > 0 || len(w.ctrl) > 0
 					if backlog && p == last[i] {
 						if !w.stalled.Swap(true) {
@@ -278,7 +393,7 @@ func (pl *Plane) StalledShards() []int {
 // WatchdogTrips returns the cumulative number of stall detections.
 func (pl *Plane) WatchdogTrips() int64 { return pl.watchdogTrips.Load() }
 
-// InjectStall wedges shard i's goroutine for d at its next packet
+// InjectStall wedges shard i's goroutine for d at its next batch
 // boundary — the fault-injection primitive the watchdog tests and the
 // chaos harness use. Fire-and-forget: the caller is not blocked for
 // the stall's duration. No-op in inline mode.
@@ -300,9 +415,12 @@ func (pl *Plane) Processed(i int) int64 {
 // --- epoch/quiesce control protocol ------------------------------------------
 
 // do runs fn against every shard's proxy and returns when all have
-// finished. Inline: direct calls in shard order. Concurrent: fn is
-// executed by each shard goroutine at a packet boundary — do is both
-// the mutation broadcast and the quiesce barrier. fn runs concurrently
+// finished. Inline: direct calls in shard order. Concurrent: each
+// shard's open partial batch is sealed first, then fn is executed by
+// the shard goroutine at a batch boundary — do is both the mutation
+// broadcast and the quiesce barrier, and a mutation can never land
+// mid-batch. The barrier is bounded: a worker reaches the next batch
+// boundary within at most one batch of packets. fn runs concurrently
 // across shards; it must not share unsynchronized state.
 func (pl *Plane) do(fn func(i int, p *proxy.Proxy)) {
 	if pl.inline() {
@@ -315,6 +433,7 @@ func (pl *Plane) do(fn func(i int, p *proxy.Proxy)) {
 	wg.Add(len(pl.workers))
 	for i, w := range pl.workers {
 		i := i
+		w.flush() // quiesce seals partial batches: no packet waits out a mutation in an open arena
 		w.send(ctrlMsg{fn: func(p *proxy.Proxy) { fn(i, p) }, done: &wg})
 	}
 	wg.Wait()
@@ -328,6 +447,7 @@ func (pl *Plane) doShard(i int, fn func(p *proxy.Proxy)) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(1)
+	pl.workers[i].flush()
 	pl.workers[i].send(ctrlMsg{fn: fn, done: &wg})
 	wg.Wait()
 }
@@ -412,6 +532,9 @@ func (pl *Plane) RegisterMetrics(r *obs.Registry, prefix string) {
 	if !pl.inline() {
 		r.Counter(prefix+".watchdog_trips", func() int64 { return pl.WatchdogTrips() })
 		r.Gauge(prefix+".stalled_shards", func() float64 { return float64(len(pl.StalledShards())) })
+		r.Counter(prefix+".batches", func() int64 { return pl.Batches() })
+		r.Counter(prefix+".wakeups", func() int64 { return pl.Wakeups() })
+		r.Counter(prefix+".ring_stalls", func() int64 { return pl.Stalls() })
 	}
 	for i, s := range pl.shards {
 		s := s

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/filter"
@@ -68,6 +69,86 @@ func TestControlVsTrafficRace(t *testing.T) {
 		case 5:
 			exact := fmt.Sprintf("11.11.10.99 %d 11.11.10.10 5001", 1000+i%64)
 			pl.Command("delete rdrop " + exact)
+			pl.StatsSnapshot()
+		}
+	}
+}
+
+// TestBatchedControlVsTrafficRace is the batching variant of the race
+// gate: full-rate burst traffic through small batches with the flush
+// timer armed (so timer flushes race dispatcher flushes on the
+// producer lock), while the control side swaps epochs with
+// library-wide load/remove cycles, fires exact-key mutations at the
+// owning shards, flushes the negative-match cache, and injects
+// micro-stalls at batch boundaries with the watchdog running. The
+// race detector is the oracle for shard-state isolation; the final
+// count asserts no packet was lost in a partial batch across all the
+// quiesce points.
+func TestBatchedControlVsTrafficRace(t *testing.T) {
+	cat := filter.NewCatalog()
+	filters.RegisterAll(cat)
+	pl := dataplane.NewConcurrent(dataplane.ConcurrentConfig{
+		Shards: 4, Catalog: cat, Seed: 11, RingSize: 64,
+		BatchSize: 16, FlushInterval: 200 * time.Microsecond,
+	})
+	defer pl.Close()
+	stopDog := pl.StartWatchdog(5 * time.Millisecond)
+	defer stopDog()
+
+	const bursts = 500
+	const per = 16
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		burst := make([][]byte, per)
+		for i := 0; i < bursts; i++ {
+			for j := range burst {
+				port := uint16(1000 + (i*per+j)%64)
+				burst[j] = mkSeg(t, port, uint32(1+i*per+j), []byte("batched race payload"))
+			}
+			pl.DispatchBurst(burst)
+		}
+	}()
+
+	pl.Command("load tcp")
+	epochAt := pl.Epoch()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			pl.Drain()
+			if snap := pl.StatsSnapshot(); snap.Intercepted != bursts*per {
+				t.Fatalf("intercepted %d packets, dispatched %d", snap.Intercepted, bursts*per)
+			}
+			if pl.Epoch() <= epochAt {
+				t.Fatal("control loop never advanced the epoch")
+			}
+			if got := pl.Batches(); got == 0 {
+				t.Fatal("no batches drained")
+			}
+			return
+		default:
+		}
+		switch i % 7 {
+		case 0:
+			// Epoch swap: the whole rdrop library comes and goes under
+			// traffic, invalidating every shard's negative-match cache.
+			pl.Command("load rdrop")
+		case 1:
+			pl.Command("add rdrop 0.0.0.0 0 0.0.0.0 0 25")
+		case 2:
+			exact := fmt.Sprintf("11.11.10.99 %d 11.11.10.10 5001", 1000+i%64)
+			pl.Command("add rdrop " + exact + " 50")
+		case 3:
+			exact := fmt.Sprintf("11.11.10.99 %d 11.11.10.10 5001", 1000+i%64)
+			pl.Command("delete rdrop " + exact)
+		case 4:
+			pl.Command("remove rdrop")
+			pl.FlushMatchCache()
+		case 5:
+			pl.InjectStall(i%4, 100*time.Microsecond)
+			pl.Command("streams")
+		case 6:
+			pl.Flush()
 			pl.StatsSnapshot()
 		}
 	}

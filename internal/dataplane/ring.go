@@ -2,11 +2,19 @@ package dataplane
 
 import "sync/atomic"
 
-// ring is a bounded single-producer single-consumer queue of raw
-// packets. Push and pop are lock-free and allocation-free: one atomic
-// load plus one atomic store each in steady state. head and tail are
-// free-running uint32 counters (indices are masked), padded onto
-// separate cache lines so producer and consumer do not false-share.
+// ring is a bounded single-producer single-consumer queue of packet
+// batches. One slot holds one batch — a [][]byte arena accumulated by
+// the steering stage — so every per-slot cost (the atomic head/tail
+// pair, the empty-transition wakeup, the consumer's park/unpark) is
+// paid once per batch instead of once per packet. Push and pop are
+// lock-free and allocation-free: one atomic load plus one atomic store
+// each in steady state. head and tail are free-running uint32 counters
+// (indices are masked), padded onto separate cache lines so producer
+// and consumer do not false-share.
+//
+// The same structure runs in both directions of the shard pipeline:
+// full batches flow dispatcher→worker, and drained arenas are recycled
+// worker→dispatcher so the steady state allocates nothing.
 //
 // Memory ordering: Go's sync/atomic operations are sequentially
 // consistent, so the producer's slot write happens-before a consumer
@@ -14,7 +22,7 @@ import "sync/atomic"
 // happens-before a producer that observes the advanced head.
 type ring struct {
 	mask  uint32
-	slots [][]byte
+	slots [][][]byte
 	_     [64]byte
 	head  atomic.Uint32 // consumer position
 	_     [64]byte
@@ -28,40 +36,41 @@ func newRing(capacity int) *ring {
 	for int(n) < capacity {
 		n <<= 1
 	}
-	return &ring{mask: n - 1, slots: make([][]byte, n)}
+	return &ring{mask: n - 1, slots: make([][][]byte, n)}
 }
 
-// push appends raw. ok is false when the ring is full. wasEmpty
+// push appends one batch. ok is false when the ring is full. wasEmpty
 // reports whether the consumer could have been parked when the push
-// landed: the producer wakes the consumer only then, so the steady
-// state (busy consumer) sends no wakeups at all. The check is sound
-// under sequential consistency — if the consumer parked after this
-// push's tail store, its emptiness check must have seen the new tail,
-// a contradiction; so a parked consumer implies wasEmpty was true and
-// a wake was sent.
-func (r *ring) push(raw []byte) (ok, wasEmpty bool) {
+// landed: the producer wakes the consumer only then, so a busy
+// consumer receives no wakeups at all — and a parked one receives at
+// most one per batch, never one per packet. The check is sound under
+// sequential consistency — if the consumer parked after this push's
+// tail store, its emptiness check must have seen the new tail, a
+// contradiction; so a parked consumer implies wasEmpty was true and a
+// wake was sent.
+func (r *ring) push(b [][]byte) (ok, wasEmpty bool) {
 	t := r.tail.Load()
 	if t-r.head.Load() > r.mask {
 		return false, false
 	}
-	r.slots[t&r.mask] = raw
+	r.slots[t&r.mask] = b
 	r.tail.Store(t + 1)
 	return true, r.head.Load() == t
 }
 
-// pop removes the oldest packet, clearing its slot so the ring never
-// pins packet buffers.
-func (r *ring) pop() ([]byte, bool) {
+// pop removes the oldest batch, clearing its slot so the ring never
+// pins arenas (or the packet buffers they reference).
+func (r *ring) pop() ([][]byte, bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
 		return nil, false
 	}
-	raw := r.slots[h&r.mask]
+	b := r.slots[h&r.mask]
 	r.slots[h&r.mask] = nil
 	r.head.Store(h + 1)
-	return raw, true
+	return b, true
 }
 
-// len reports the current queue depth (racy but monotonic-safe: each
-// side's own counter is exact).
+// len reports the current queue depth in batches (racy but
+// monotonic-safe: each side's own counter is exact).
 func (r *ring) len() int { return int(r.tail.Load() - r.head.Load()) }

@@ -3,37 +3,73 @@ package dataplane
 import (
 	"encoding/binary"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/filters"
+	"repro/internal/ip"
+	"repro/internal/tcp"
 )
 
+// buf packs i into a fresh 4-byte buffer.
+func buf(i int) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(i))
+	return b
+}
+
+// bval unpacks a buffer written by buf.
+func bval(b []byte) int { return int(binary.BigEndian.Uint32(b)) }
+
+// mkBatch builds one batch of n packets numbered from start.
+func mkBatch(start, n int) [][]byte {
+	b := make([][]byte, n)
+	for i := range b {
+		b[i] = buf(start + i)
+	}
+	return b
+}
+
+// TestRingOrderAndWrap cycles batches through several wraparounds of
+// the slot boundary with a partially-full ring: every batch comes out
+// intact, in order, including the batches that straddle the index wrap
+// of the free-running head/tail counters.
 func TestRingOrderAndWrap(t *testing.T) {
 	r := newRing(8)
 	if len(r.slots) != 8 {
 		t.Fatalf("capacity = %d, want 8", len(r.slots))
 	}
-	buf := func(i int) []byte {
-		b := make([]byte, 4)
-		binary.BigEndian.PutUint32(b, uint32(i))
-		return b
-	}
 	next := 0
-	// Cycle through several wraps with a partially-full ring.
 	for round := 0; round < 100; round++ {
 		for i := 0; i < 5; i++ {
-			if ok, _ := r.push(buf(round*5 + i)); !ok {
+			// Varying batch sizes so slot contents never line up with
+			// slot indices.
+			n := 1 + (round+i)%4
+			if ok, _ := r.push(mkBatch(round*1000+i*10, n)); !ok {
 				t.Fatalf("push failed at depth %d", r.len())
 			}
 		}
+		want := 0
 		for i := 0; i < 5; i++ {
 			b, ok := r.pop()
 			if !ok {
 				t.Fatal("pop on non-empty ring failed")
 			}
-			if got := int(binary.BigEndian.Uint32(b)); got != next {
-				t.Fatalf("pop order: got %d, want %d", got, next)
+			wantN := 1 + (round+i)%4
+			if len(b) != wantN {
+				t.Fatalf("round %d batch %d: %d packets, want %d", round, i, len(b), wantN)
 			}
-			next++
+			for j, raw := range b {
+				if got := bval(raw); got != round*1000+i*10+j {
+					t.Fatalf("round %d batch %d pkt %d: got %d, want %d",
+						round, i, j, got, round*1000+i*10+j)
+				}
+			}
+			want += wantN
 		}
+		next += want
 	}
 	if _, ok := r.pop(); ok {
 		t.Fatal("pop on empty ring succeeded")
@@ -43,72 +79,244 @@ func TestRingOrderAndWrap(t *testing.T) {
 func TestRingFull(t *testing.T) {
 	r := newRing(4)
 	for i := 0; i < 4; i++ {
-		if ok, _ := r.push([]byte{byte(i)}); !ok {
+		if ok, _ := r.push(mkBatch(i, 2)); !ok {
 			t.Fatalf("push %d on non-full ring failed", i)
 		}
 	}
-	if ok, _ := r.push([]byte{9}); ok {
+	if ok, _ := r.push(mkBatch(9, 2)); ok {
 		t.Fatal("push on full ring succeeded")
 	}
 	if _, ok := r.pop(); !ok {
 		t.Fatal("pop failed")
 	}
-	if ok, _ := r.push([]byte{9}); !ok {
+	if ok, _ := r.push(mkBatch(9, 2)); !ok {
 		t.Fatal("push after pop failed")
 	}
 }
 
+// TestRingWasEmpty pins the wakeup contract at the ring level: only
+// the push that transitions empty→non-empty reports wasEmpty, i.e. at
+// most one wakeup per batch and none while the consumer has work.
 func TestRingWasEmpty(t *testing.T) {
 	r := newRing(4)
-	if _, wasEmpty := r.push([]byte{1}); !wasEmpty {
+	if _, wasEmpty := r.push(mkBatch(0, 3)); !wasEmpty {
 		t.Fatal("first push must observe empty")
 	}
-	if _, wasEmpty := r.push([]byte{2}); wasEmpty {
+	if _, wasEmpty := r.push(mkBatch(3, 3)); wasEmpty {
 		t.Fatal("second push must not observe empty")
 	}
 	r.pop()
 	r.pop()
-	if _, wasEmpty := r.push([]byte{3}); !wasEmpty {
+	if _, wasEmpty := r.push(mkBatch(6, 3)); !wasEmpty {
 		t.Fatal("push after drain must observe empty")
 	}
 }
 
-// TestRingSPSC hammers the ring cross-goroutine under the race
-// detector: every buffer arrives exactly once, in order. Both sides
-// yield when they can't make progress so the test passes promptly on
-// a single-core machine.
+// TestRingSPSC hammers the batched ring cross-goroutine under the race
+// detector: every packet of every batch arrives exactly once, in
+// order. Both sides yield when they can't make progress so the test
+// passes promptly on a single-core machine.
 func TestRingSPSC(t *testing.T) {
-	const total = 50000
+	const batches = 10000
+	const per = 5
 	r := newRing(64)
 	done := make(chan int)
 	go func() {
 		next := 0
-		for next < total {
+		for next < batches*per {
 			b, ok := r.pop()
 			if !ok {
 				runtime.Gosched()
 				continue
 			}
-			if got := int(binary.BigEndian.Uint32(b)); got != next {
-				t.Errorf("consumer: got %d, want %d", got, next)
-				break
+			for _, raw := range b {
+				if got := bval(raw); got != next {
+					t.Errorf("consumer: got %d, want %d", got, next)
+					done <- next
+					return
+				}
+				next++
 			}
-			next++
 		}
 		done <- next
 	}()
-	b := make([]byte, 4)
-	for i := 0; i < total; i++ {
-		binary.BigEndian.PutUint32(b, uint32(i))
-		c := append([]byte(nil), b...)
+	for i := 0; i < batches; i++ {
+		b := mkBatch(i*per, per)
 		for {
-			if ok, _ := r.push(c); ok {
+			if ok, _ := r.push(b); ok {
 				break
 			}
 			runtime.Gosched()
 		}
 	}
-	if got := <-done; got != total {
-		t.Fatalf("consumer stopped at %d of %d", got, total)
+	if got := <-done; got != batches*per {
+		t.Fatalf("consumer stopped at %d of %d", got, batches*per)
 	}
+}
+
+// concurrentPlane builds a small concurrent plane for the in-package
+// batch tests, collecting sink deliveries as (batch count, packet
+// count) through the given counters.
+func concurrentPlane(t *testing.T, shards, batch int, flush time.Duration, sink Sink) *Plane {
+	t.Helper()
+	cat := filter.NewCatalog()
+	filters.RegisterAll(cat)
+	pl := NewConcurrent(ConcurrentConfig{
+		Shards: shards, Catalog: cat, Seed: 3, RingSize: 64,
+		BatchSize: batch, FlushInterval: flush, Sink: sink,
+	})
+	t.Cleanup(pl.Close)
+	return pl
+}
+
+// TestPartialBatchFlushOnTimer: with fewer packets than a batch and no
+// Drain, the flush timer must seal the partial batch and the packets
+// must reach the sink on their own.
+func TestPartialBatchFlushOnTimer(t *testing.T) {
+	got := make(chan int, 16)
+	pl := concurrentPlane(t, 1, 64, 2*time.Millisecond, func(_ int, out [][]byte) {
+		got <- len(out)
+	})
+	for i := 0; i < 5; i++ {
+		pl.Dispatch(mkTestSeg(t, 1000, uint32(1+i)))
+	}
+	deadline := time.After(2 * time.Second)
+	total := 0
+	for total < 5 {
+		select {
+		case n := <-got:
+			total += n
+		case <-deadline:
+			t.Fatalf("flush timer never delivered the partial batch (got %d of 5)", total)
+		}
+	}
+	if total != 5 {
+		t.Fatalf("delivered %d packets, want 5", total)
+	}
+}
+
+// TestPartialBatchFlushOnQuiesce: with the flush timer disabled, a
+// partial batch still moves at a quiesce boundary — any control
+// broadcast (here a wildcard command) seals open arenas first.
+func TestPartialBatchFlushOnQuiesce(t *testing.T) {
+	var pkts atomic.Int64 // two shards deliver concurrently
+	pl := concurrentPlane(t, 2, 64, -1, func(_ int, out [][]byte) {
+		pkts.Add(int64(len(out)))
+	})
+	for i := 0; i < 6; i++ {
+		pl.Dispatch(mkTestSeg(t, uint16(1000+i), 1))
+	}
+	// No Drain yet: the quiesce broadcast of a command must flush.
+	pl.Command("load tcp")
+	pl.Drain()
+	if got := pkts.Load(); got != 6 {
+		t.Fatalf("delivered %d packets after quiesce, want 6", got)
+	}
+	if got := pl.StatsSnapshot().Intercepted; got != 6 {
+		t.Fatalf("intercepted %d, want 6", got)
+	}
+}
+
+// TestPartialBatchFlushOnDrain: same, via Drain alone.
+func TestPartialBatchFlushOnDrain(t *testing.T) {
+	var pkts int
+	pl := concurrentPlane(t, 1, 64, -1, func(_ int, out [][]byte) { pkts += len(out) })
+	pl.Dispatch(mkTestSeg(t, 1000, 1))
+	pl.Drain()
+	if pkts != 1 {
+		t.Fatalf("delivered %d packets after Drain, want 1", pkts)
+	}
+}
+
+// TestWakeupOncePerBatch pins the amortization the batching exists
+// for: while a shard is wedged (so the ring only fills), dispatching
+// several full batches sends exactly one wakeup — the empty→non-empty
+// transition of the first batch — not one per packet or per batch.
+func TestWakeupOncePerBatch(t *testing.T) {
+	const batch = 8
+	pl := concurrentPlane(t, 1, batch, -1, nil)
+	w := pl.workers[0]
+
+	pl.InjectStall(0, 500*time.Millisecond)
+	// Wait until the worker picked the stall up: the ctrl queue
+	// empties when the shard goroutine enters the stall fn.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(w.ctrl) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the stall")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The stall's own send() may have left a pending wake token; drain
+	// it so the counter below measures only the batch pushes. The worker
+	// is wedged in the stall fn, so nothing else touches wake.
+	select {
+	case <-w.wake:
+	default:
+	}
+	base := w.wakes.Load()
+	for i := 0; i < 3*batch; i++ {
+		pl.Dispatch(mkTestSeg(t, 1000, uint32(1+i))) // one flow → one shard
+	}
+	if got := w.ring.len(); got != 3 {
+		t.Fatalf("ring holds %d batches, want 3", got)
+	}
+	if got := w.wakes.Load() - base; got != 1 {
+		t.Fatalf("dispatching 3 full batches sent %d wakeups, want exactly 1", got)
+	}
+	pl.Drain()
+	if got := w.processed.Load(); got != 3*batch {
+		t.Fatalf("processed %d packets, want %d", got, 3*batch)
+	}
+	if got := w.batches.Load(); got != 3 {
+		t.Fatalf("drained %d batches, want 3", got)
+	}
+}
+
+// TestArenaRecycling: in steady state the producer reuses arenas the
+// worker has drained instead of allocating fresh ones per batch.
+func TestArenaRecycling(t *testing.T) {
+	const batch = 4
+	pl := concurrentPlane(t, 1, batch, -1, nil)
+	w := pl.workers[0]
+	// Prime: a few rounds populate the free ring.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < batch; i++ {
+			pl.Dispatch(mkTestSeg(t, 1000, uint32(1+i)))
+		}
+		pl.Drain()
+	}
+	if w.free.len() == 0 {
+		t.Fatal("no arenas recycled onto the free ring")
+	}
+	raws := make([][]byte, batch)
+	for i := range raws {
+		raws[i] = mkTestSeg(t, 1000, uint32(1+i))
+	}
+	base := w.arenaAllocs.Load()
+	for round := 0; round < 100; round++ {
+		for _, raw := range raws {
+			pl.Dispatch(raw)
+		}
+		pl.Drain()
+	}
+	if got := w.arenaAllocs.Load() - base; got != 0 {
+		t.Fatalf("steady state allocated %d fresh arenas, want 0 (recycled)", got)
+	}
+}
+
+// mkTestSeg is a minimal valid TCP/IP datagram builder for in-package
+// tests (the external-package tests have their own in plane_test.go).
+func mkTestSeg(tb testing.TB, srcPort uint16, seq uint32) []byte {
+	tb.Helper()
+	src := ip.MustParseAddr("11.11.10.99")
+	dst := ip.MustParseAddr("11.11.10.10")
+	seg := tcp.Segment{SrcPort: srcPort, DstPort: 5001, Seq: seq, Ack: 1,
+		Flags: tcp.FlagACK, Window: 65535}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: src, Dst: dst}
+	raw, err := h.Marshal(seg.Marshal(src, dst))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
 }

@@ -56,3 +56,17 @@ func ShardOf(k filter.Key, n int) int {
 	}
 	return int(Hash(k) % uint64(n))
 }
+
+// steer is the shared steering step of every packet entry point
+// (inline Hook, Dispatch, DispatchBurst): extract the stream key from
+// the raw bytes in place and hash it to the owning shard. Packets that
+// fail extraction go to shard 0.
+func (pl *Plane) steer(raw []byte) int {
+	if pl.n == 1 {
+		return 0
+	}
+	if k, ok := filter.SteerKey(raw); ok {
+		return ShardOf(k, pl.n)
+	}
+	return 0
+}

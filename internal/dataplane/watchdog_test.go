@@ -79,6 +79,62 @@ func TestWatchdogQuietOnHealthyPlane(t *testing.T) {
 	}
 }
 
+// slowFilter sleeps on every outbound data packet — a filter whose
+// per-packet cost dwarfs the watchdog interval, so one full batch
+// takes many intervals to grind through.
+type slowFilter struct{ delay time.Duration }
+
+func (*slowFilter) Name() string              { return "slow" }
+func (*slowFilter) Priority() filter.Priority { return filter.Low }
+func (*slowFilter) Description() string       { return "per-packet delay (test)" }
+
+func (f *slowFilter) New(env filter.Env, k filter.Key, args []string) error {
+	_, err := env.Attach(k, filter.Hooks{
+		Filter: "slow", Priority: filter.Low,
+		Out: func(pkt *filter.Packet) { time.Sleep(f.delay) },
+	})
+	return err
+}
+
+// TestWatchdogNoSpuriousTripOnLargeBatch is the satellite-4 gate: a
+// shard grinding through a large in-flight batch — slower per batch
+// than several watchdog intervals, with more backlog sealed behind it
+// — is making progress packet by packet and must never be flagged. A
+// watchdog measuring completed batches instead of batch progress
+// would trip here.
+func TestWatchdogNoSpuriousTripOnLargeBatch(t *testing.T) {
+	const batch = 64
+	cat := filter.NewCatalog()
+	cat.Register("slow", func() filter.Factory { return &slowFilter{delay: 2 * time.Millisecond} })
+	pl := dataplane.NewConcurrent(dataplane.ConcurrentConfig{
+		Shards: 1, Catalog: cat, Seed: 4, RingSize: 8,
+		BatchSize: batch, FlushInterval: -1,
+	})
+	defer pl.Close()
+	pl.Command("load slow")
+	pl.Command("add slow 0.0.0.0 0 0.0.0.0 0")
+
+	stop := pl.StartWatchdog(15 * time.Millisecond)
+	defer stop()
+
+	// Two full batches on one flow: the first is picked up and ground
+	// at ~2ms/packet (~128ms/batch, ~8 watchdog intervals) while the
+	// second sits in the ring as visible backlog the whole time.
+	for i := 0; i < 2*batch; i++ {
+		pl.Dispatch(mkSeg(t, 9000, uint32(1+i), []byte("slow grind")))
+	}
+	pl.Drain()
+	if n := pl.WatchdogTrips(); n != 0 {
+		t.Fatalf("watchdog tripped %d times on a shard grinding a large batch", n)
+	}
+	if s := pl.StalledShards(); len(s) != 0 {
+		t.Fatalf("grinding shard left flagged: %v", s)
+	}
+	if got := pl.Processed(0); got != 2*batch {
+		t.Fatalf("processed %d packets, want %d", got, 2*batch)
+	}
+}
+
 // TestWatchdogInlineNoop: inline planes cannot stall independently of
 // the caller, so the watchdog must be inert there.
 func TestWatchdogInlineNoop(t *testing.T) {

@@ -30,13 +30,14 @@ func mkTCPFlow(tb testing.TB, srcPort uint16, seq uint32, payload int) []byte {
 // shardedPlane builds a concurrent plane with the tcp bookkeeping
 // filter plus `depth` no-op rdrop filters on every stream — the same
 // per-packet work as the E15 queue-depth benchmarks, now spread over
-// shards.
-func shardedPlane(tb testing.TB, shards, depth int, sink dataplane.Sink) *dataplane.Plane {
+// shards. batch is the ring-slot batch size (0 = default).
+func shardedPlane(tb testing.TB, shards, depth, batch int, sink dataplane.Sink) *dataplane.Plane {
 	tb.Helper()
 	cat := filter.NewCatalog()
 	filters.RegisterAll(cat)
 	pl := dataplane.NewConcurrent(dataplane.ConcurrentConfig{
-		Shards: shards, Catalog: cat, Seed: 17, RingSize: 1024, Sink: sink,
+		Shards: shards, Catalog: cat, Seed: 17, RingSize: 1024,
+		BatchSize: batch, Sink: sink,
 	})
 	cmds := []string{"load tcp", "load rdrop", "add tcp 0.0.0.0 0 0.0.0.0 0"}
 	for i := 0; i < depth; i++ {
@@ -50,16 +51,13 @@ func shardedPlane(tb testing.TB, shards, depth int, sink dataplane.Sink) *datapl
 	return pl
 }
 
-// BenchmarkShardedIntercept is the multi-core aggregate interception
-// rate: GOMAXPROCS-many shards behind the flow-steering dispatcher,
-// 4 flows per shard, tcp + 4 rdrop filters per stream. Run with
-// -cpu 1,2,4,8 to sweep the shard count (the acceptance curve: ≥3×
-// pkts/s at 8 shards vs 1 on an 8-core machine, 0 allocs/op steady
-// state).
-func BenchmarkShardedIntercept(b *testing.B) {
+// benchSharded is the shared body of the sharded throughput
+// benchmarks: GOMAXPROCS-many shards behind the flow-steering
+// dispatcher, 4 flows per shard, tcp + 4 rdrop filters per stream.
+func benchSharded(b *testing.B, batch int) {
 	shards := runtime.GOMAXPROCS(0)
 	var emitted atomic.Int64
-	pl := shardedPlane(b, shards, 4, func(_ int, out [][]byte) {
+	pl := shardedPlane(b, shards, 4, batch, func(_ int, out [][]byte) {
 		emitted.Add(int64(len(out)))
 	})
 	defer pl.Close()
@@ -83,6 +81,25 @@ func BenchmarkShardedIntercept(b *testing.B) {
 	if got := emitted.Load(); got != int64(b.N+len(flows)) {
 		b.Fatalf("emitted %d packets, want %d", got, b.N+len(flows))
 	}
+}
+
+// BenchmarkShardedIntercept is the multi-core aggregate interception
+// rate through the batched pipeline (default batch size). Run with
+// -cpu 1,2,4,8 to sweep the shard count; `make bench-shard` records
+// the curve in BENCH_shard.json and `make bench-gate` enforces it.
+// The steady state must stay 0 allocs/op: arenas and delivery buffers
+// recycle, packets are never copied.
+func BenchmarkShardedIntercept(b *testing.B) {
+	benchSharded(b, 0)
+}
+
+// BenchmarkShardedInterceptBatch1 is the same pipeline degenerated to
+// one packet per ring slot — the per-packet handoff the pre-batching
+// plane paid on every packet. The gap to BenchmarkShardedIntercept is
+// the amortization win; on a single-core host it is the difference
+// between collapsing under futex traffic and keeping pace.
+func BenchmarkShardedInterceptBatch1(b *testing.B) {
+	benchSharded(b, 1)
 }
 
 // BenchmarkSteerKey is the dispatcher's per-packet overhead on its
@@ -129,7 +146,7 @@ func TestShardedInlineZeroAlloc(t *testing.T) {
 // itself: every dispatched packet comes out exactly once.
 func TestShardedConcurrentNoLoss(t *testing.T) {
 	var emitted atomic.Int64
-	pl := shardedPlane(t, 4, 2, func(_ int, out [][]byte) {
+	pl := shardedPlane(t, 4, 2, 16, func(_ int, out [][]byte) {
 		emitted.Add(int64(len(out)))
 	})
 	defer pl.Close()

@@ -352,23 +352,40 @@ func (p *Proxy) Intercept(raw []byte, in *netsim.Iface) [][]byte {
 	return p.intercept(raw, in)
 }
 
-// intercept is the node packet hook: parse, match, build queues on
-// demand, run the in and out queues, and reinject. The steady-state
-// pass-through path (no matching service, or a clean traversal of the
-// tcp filter) is allocation-free: the parsed view comes from the
-// packet pool and is Released before returning, and the returned
-// slice is the proxy's reusable emit list, valid until the next
-// interception.
+// InterceptAppend runs the interception path on raw and appends every
+// output datagram to dst, returning the extended slice. Unlike
+// Intercept — whose returned slice is reused on the next interception
+// — the appended entries stay valid across later interceptions: each
+// is either the caller's raw buffer passed through untouched, or a
+// freshly marshalled datagram the proxy never writes again. The
+// batched shard pipeline relies on this to accumulate a whole batch's
+// output before one sink delivery.
+func (p *Proxy) InterceptAppend(raw []byte, in *netsim.Iface, dst [][]byte) [][]byte {
+	return p.interceptInto(raw, in, dst)
+}
+
+// intercept is the node packet hook: the returned slice is the proxy's
+// reusable emit list, valid until the next interception, so the
+// steady-state hook path never allocates a fresh [][]byte per packet.
 func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
-	p.Stats.Intercepted.Add(1)
 	for i := range p.emit {
 		p.emit[i] = nil // drop references from the previous packet
 	}
-	p.emit = p.emit[:0]
+	p.emit = p.interceptInto(raw, in, p.emit[:0])
+	return p.emit
+}
+
+// interceptInto is the interception path: parse, match, build queues
+// on demand, run the in and out queues, and append the surviving (and
+// injected) datagrams to dst. The steady-state pass-through path (no
+// matching service, or a clean traversal of the tcp filter) is
+// allocation-free: the parsed view comes from the packet pool and is
+// Released before returning.
+func (p *Proxy) interceptInto(raw []byte, in *netsim.Iface, dst [][]byte) [][]byte {
+	p.Stats.Intercepted.Add(1)
 	pkt, err := filter.Parse(raw)
 	if err != nil {
-		p.emit = append(p.emit, raw) // unparseable: pass through untouched
-		return p.emit
+		return append(dst, raw) // unparseable: pass through untouched
 	}
 	if p.obs.PacketsTraced() {
 		p.obs.EmitPacket("proxy", "intercept", pkt.Key.String(), raw)
@@ -379,8 +396,7 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 	}
 	if q == nil || len(q.attached) == 0 {
 		pkt.Release()
-		p.emit = append(p.emit, raw)
-		return p.emit
+		return append(dst, raw)
 	}
 	p.Stats.Filtered.Add(1)
 	q.pkts++
@@ -417,14 +433,14 @@ func (p *Proxy) intercept(raw []byte, in *netsim.Iface) [][]byte {
 			}
 		}
 		p.Stats.Reinjected.Add(1)
-		p.emit = append(p.emit, pkt.Raw)
+		dst = append(dst, pkt.Raw)
 	}
 	for _, extra := range pkt.Injections() {
 		p.Stats.Injected.Add(1)
-		p.emit = append(p.emit, extra)
+		dst = append(dst, extra)
 	}
 	pkt.Release()
-	return p.emit
+	return dst
 }
 
 // runHook invokes hook(pkt), converting a panic into a quarantine

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Throughput regression gate for the batched sharded data plane.
+#
+# Runs a fresh short BenchmarkShardedIntercept at 1 and 8 shards and
+# enforces, in order of portability:
+#
+#   1. No-collapse (every host): 8-shard aggregate throughput must stay
+#      >= 70% of single-shard. Before batching, per-packet cross-thread
+#      wakeups made 8 shards run at ~0.45x of one shard on a single
+#      core; this gate keeps that collapse from coming back anywhere.
+#   2. Linear scaling (hosts with >= 8 CPUs only): 8 shards must beat
+#      one shard by > 4x. Unattainable on fewer cores, so it is gated
+#      on nproc.
+#   3. Absolute floor (same-host only): if this host has the same CPU
+#      count as the one that recorded BENCH_shard.json, the fresh
+#      8-shard rate must not drop below the committed floor_8shard
+#      (recorded at 70% of the measured rate, so normal run-to-run
+#      noise passes).
+set -e
+cd "$(dirname "$0")/.."
+
+CPUS=$(nproc 2>/dev/null || echo 1)
+OUT=/tmp/bench_gate.txt
+
+go test ./internal/perf -run '^$' -bench 'BenchmarkShardedIntercept$' \
+	-cpu 1,8 -count=1 -benchtime 1s | tee "$OUT"
+
+rate() {
+	awk -v want="$1" '$1 == want {
+		for (i = 2; i <= NF; i++) if ($i == "pkts/s") print $(i-1)
+	}' "$OUT"
+}
+R1=$(rate BenchmarkShardedIntercept)
+R8=$(rate BenchmarkShardedIntercept-8)
+if [ -z "$R1" ] || [ -z "$R8" ]; then
+	echo "bench-gate: FAIL (could not parse pkts/s from benchmark output)"
+	exit 1
+fi
+echo "bench-gate: host_cpus=$CPUS 1-shard=$R1 pkts/s 8-shard=$R8 pkts/s"
+
+# Gate 1: no collapse, anywhere.
+awk -v r1="$R1" -v r8="$R8" 'BEGIN {
+	if (r8 < 0.7 * r1) {
+		printf "bench-gate: FAIL (8-shard %d < 70%% of 1-shard %d: shard handoff collapse)\n", r8, r1
+		exit 1
+	}
+	printf "bench-gate: no-collapse OK (8v1 scale %.2f)\n", r8 / r1
+}' || exit 1
+
+# Gate 2: linear scaling, only where the cores exist to show it.
+if [ "$CPUS" -ge 8 ]; then
+	awk -v r1="$R1" -v r8="$R8" 'BEGIN {
+		if (r8 <= 4 * r1) {
+			printf "bench-gate: FAIL (8-shard %d <= 4x 1-shard %d on an 8-core-class host)\n", r8, r1
+			exit 1
+		}
+		printf "bench-gate: linear-scaling OK (8v1 scale %.2f > 4)\n", r8 / r1
+	}' || exit 1
+else
+	echo "bench-gate: linear-scaling gate skipped (host has $CPUS CPUs, needs >= 8)"
+fi
+
+# Gate 3: absolute floor, only against a record from an equivalent host.
+if [ -f BENCH_shard.json ]; then
+	REC_CPUS=$(sed -n 's/.*"host_cpus": *\([0-9][0-9]*\).*/\1/p' BENCH_shard.json)
+	FLOOR=$(sed -n 's/.*"floor_8shard": *\([0-9][0-9]*\).*/\1/p' BENCH_shard.json)
+	if [ -n "$REC_CPUS" ] && [ -n "$FLOOR" ] && [ "$REC_CPUS" = "$CPUS" ]; then
+		awk -v r8="$R8" -v floor="$FLOOR" 'BEGIN {
+			if (r8 < floor) {
+				printf "bench-gate: FAIL (8-shard %d pkts/s below committed floor %d)\n", r8, floor
+				exit 1
+			}
+			printf "bench-gate: floor OK (%d >= %d)\n", r8, floor
+		}' || exit 1
+	else
+		echo "bench-gate: floor gate skipped (recorded on host_cpus=${REC_CPUS:-?}, this host has $CPUS)"
+	fi
+else
+	echo "bench-gate: floor gate skipped (no BENCH_shard.json committed)"
+fi
+
+echo "bench-gate: OK"
