@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate obs-determinism chaos adapt verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate bench-registry bench-registry-gate obs-determinism chaos adapt verify
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test ./internal/filter -fuzz FuzzFilterParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/filter -fuzz FuzzSteerKey -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dataplane -fuzz FuzzSteer -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/classifier -fuzz FuzzClassifierParity -fuzztime $(FUZZTIME)
 
 # Hot-path micro-benchmarks, benchstat-ready (10 samples each).
 bench:
@@ -67,6 +68,49 @@ bench-shard:
 		printf "\n}\n"; \
 	}' /tmp/bench_shard.txt > BENCH_shard.json
 	@cat BENCH_shard.json
+
+# Registry-classifier curve: ns/lookup against 1/64/1000/8000-rule
+# registries (min of 3 runs per size, so scheduler noise at ~17ns/op
+# cannot skew the record) plus the short-flow churn lifecycle cost.
+# The curve, the host CPU count, the 8k-vs-1 flatness ratio, and the
+# churn allocation cost land in BENCH_registry.json.
+bench-registry:
+	$(GO) test ./internal/perf -run '^$$' \
+		-bench 'BenchmarkRegistryLookup$$|BenchmarkRegistryChurn$$' \
+		-benchmem -count=3 | tee /tmp/bench_registry.txt
+	@awk -v cpus=$$(nproc 2>/dev/null || echo 1) \
+	'$$1 ~ /^BenchmarkRegistryLookup\/rules-/ { \
+		split($$1, name, "-"); size = name[2]; \
+		for (i = 2; i <= NF; i++) \
+			if ($$i == "ns/lookup" && (!(size in ns) || $$(i-1) < ns[size])) ns[size] = $$(i-1); \
+	} \
+	$$1 ~ /^BenchmarkRegistryChurn(-[0-9]+)?$$/ { \
+		for (i = 2; i <= NF; i++) { \
+			if ($$i == "bytes/flow" && (bpf == "" || $$(i-1) < bpf)) bpf = $$(i-1); \
+			if ($$i == "pkts/s" && $$(i-1) > pps) pps = $$(i-1); \
+		} \
+	} \
+	END { \
+		printf "{\n  \"benchmark\": \"BenchmarkRegistryLookup\",\n  \"metric\": \"ns/lookup (min of 3)\",\n"; \
+		printf "  \"host_cpus\": %d,\n  \"rules\": {", cpus; \
+		n = split("1 64 1000 8000", order, " "); sep = ""; \
+		for (j = 1; j <= n; j++) if (order[j] in ns) { \
+			printf "%s\n    \"%s\": %.2f", sep, order[j], ns[order[j]]; sep = ","; \
+		} \
+		printf "\n  }"; \
+		if (("1" in ns) && ("8000" in ns) && ns["1"] > 0) \
+			printf ",\n  \"ratio_8kv1\": %.2f", ns["8000"] / ns["1"]; \
+		if (bpf != "") printf ",\n  \"churn_bytes_per_flow\": %d", bpf; \
+		if (pps > 0) printf ",\n  \"churn_pkts_per_s\": %d", pps; \
+		printf "\n}\n"; \
+	}' /tmp/bench_registry.txt > BENCH_registry.json
+	@cat BENCH_registry.json
+
+# Flat-lookup regression gate: a fresh run of the classifier benchmark
+# checked for zero allocations at every registry size and for O(1)
+# scaling (8000-rule lookups within 1.25x of 1-rule).
+bench-registry-gate:
+	./scripts/bench_registry_gate.sh
 
 # Throughput regression gate: a fresh short run of the batched
 # benchmark checked against hard invariants (no shard collapse; linear

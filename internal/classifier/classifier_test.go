@@ -1,0 +1,244 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/ip"
+)
+
+// refMatch is the reference answer: a linear scan with
+// filter.Key.Matches, the semantics the compiled program must
+// reproduce exactly.
+func refMatch(rules []filter.Key, k filter.Key) bool {
+	for _, r := range rules {
+		if r.Matches(k) {
+			return true
+		}
+	}
+	return false
+}
+
+func refIndices(rules []filter.Key, k filter.Key) []int32 {
+	var out []int32
+	for i, r := range rules {
+		if r.Matches(k) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sameIndices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkParity asserts Match and AppendMatches agree with the reference
+// scan for key k.
+func checkParity(t *testing.T, pr *Program, rules []filter.Key, k filter.Key) {
+	t.Helper()
+	want := refMatch(rules, k)
+	if got := pr.Match(k); got != want {
+		t.Fatalf("Match(%v) = %v, reference scan says %v (rules=%v, scan=%v)",
+			k, got, want, rules, pr.Stats().Scan)
+	}
+	wantIdx := refIndices(rules, k)
+	gotIdx := pr.AppendMatches(nil, k)
+	if !sameIndices(gotIdx, wantIdx) {
+		t.Fatalf("AppendMatches(%v) = %v, reference scan says %v (rules=%v)",
+			k, gotIdx, wantIdx, rules)
+	}
+}
+
+// Small pools force value collisions so random rule sets exercise
+// shared classes, not just distinct singletons.
+var (
+	testAddrs = []ip.Addr{
+		0, // wild-card
+		ip.MustParseAddr("10.0.0.1"),
+		ip.MustParseAddr("10.0.0.2"),
+		ip.MustParseAddr("11.11.10.10"),
+		ip.MustParseAddr("11.11.10.99"),
+	}
+	testPorts = []uint16{0, 1, 7, 80, 1169, 8080}
+)
+
+func randKey(rng *rand.Rand) filter.Key {
+	return filter.Key{
+		SrcIP:   testAddrs[rng.Intn(len(testAddrs))],
+		SrcPort: testPorts[rng.Intn(len(testPorts))],
+		DstIP:   testAddrs[rng.Intn(len(testAddrs))],
+		DstPort: testPorts[rng.Intn(len(testPorts))],
+	}
+}
+
+func TestCompiledParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		rules := make([]filter.Key, rng.Intn(12))
+		for i := range rules {
+			rules[i] = randKey(rng)
+		}
+		pr := Compile(rules)
+		if pr.Stats().Scan {
+			t.Fatalf("small rule set unexpectedly fell back to scan: %v", rules)
+		}
+		for probe := 0; probe < 64; probe++ {
+			checkParity(t, pr, rules, randKey(rng))
+		}
+	}
+}
+
+func TestEmptyProgramMatchesNothing(t *testing.T) {
+	for _, pr := range []*Program{Compile(nil), Compile([]filter.Key{}), new(Program)} {
+		k := filter.Key{SrcIP: testAddrs[1], SrcPort: 7, DstIP: testAddrs[2], DstPort: 80}
+		if pr.Match(k) {
+			t.Fatal("empty program matched a key")
+		}
+		if got := pr.AppendMatches(nil, k); got != nil {
+			t.Fatalf("empty program returned matches %v", got)
+		}
+		if pr.Len() != 0 {
+			t.Fatalf("Len() = %d, want 0", pr.Len())
+		}
+	}
+}
+
+func TestAllWildRuleMatchesEverything(t *testing.T) {
+	rules := []filter.Key{{}} // all fields wild
+	pr := Compile(rules)
+	probes := []filter.Key{
+		{}, // all-zero lookup key
+		{SrcIP: testAddrs[1]},
+		{SrcPort: 9999},
+		{SrcIP: testAddrs[3], SrcPort: 1169, DstIP: testAddrs[4], DstPort: 7},
+	}
+	for _, k := range probes {
+		checkParity(t, pr, rules, k)
+		if !pr.Match(k) {
+			t.Fatalf("all-wild rule did not match %v", k)
+		}
+	}
+}
+
+// TestZeroFieldLookupKeys pins the port-0 / zero-address lookup edge:
+// a zero field in the *lookup* key must behave exactly as the
+// reference scan treats it (only rules wild-carding that field can
+// match), even though zero normally marks wild-cards in rules.
+func TestZeroFieldLookupKeys(t *testing.T) {
+	rules := []filter.Key{
+		{SrcIP: testAddrs[1], SrcPort: 7, DstIP: testAddrs[2], DstPort: 80},
+		{SrcPort: 7},              // src port only
+		{DstIP: testAddrs[2]},     // dst addr only
+		{},                        // all wild
+		{SrcIP: testAddrs[1]},     // src addr only
+		{SrcPort: 7, DstPort: 80}, // both ports
+		{SrcIP: 0, SrcPort: 0, DstIP: 0, DstPort: 443},
+	}
+	pr := Compile(rules)
+	probes := []filter.Key{
+		{},
+		{SrcPort: 7},
+		{SrcIP: testAddrs[1], SrcPort: 0, DstIP: 0, DstPort: 80},
+		{SrcIP: testAddrs[1], SrcPort: 7, DstIP: testAddrs[2], DstPort: 80},
+		{DstPort: 443},
+		{SrcIP: testAddrs[4], DstPort: 443},
+	}
+	for _, k := range probes {
+		checkParity(t, pr, rules, k)
+	}
+}
+
+func TestDuplicateRules(t *testing.T) {
+	r := filter.Key{SrcIP: testAddrs[1], SrcPort: 7}
+	rules := []filter.Key{r, r, r}
+	pr := Compile(rules)
+	k := filter.Key{SrcIP: testAddrs[1], SrcPort: 7, DstIP: testAddrs[2], DstPort: 80}
+	got := pr.AppendMatches(nil, k)
+	if !sameIndices(got, []int32{0, 1, 2}) {
+		t.Fatalf("duplicate rules: got indices %v, want [0 1 2]", got)
+	}
+}
+
+// TestScanFallbackParity forces the cross-product cap: ~1100 rules
+// each with a distinct source address AND distinct source port give
+// 1101×1101 > 2^20 source-pair entries, so Compile must fall back to
+// the linear-scan program — and still answer identically.
+func TestScanFallbackParity(t *testing.T) {
+	const n = 1100
+	rules := make([]filter.Key, n)
+	for i := range rules {
+		rules[i] = filter.Key{
+			SrcIP:   ip.AddrFrom4(10, 1, byte(i>>8), byte(i)),
+			SrcPort: uint16(1000 + i),
+		}
+	}
+	pr := Compile(rules)
+	if !pr.Stats().Scan {
+		t.Fatalf("expected scan fallback at %d distinct src addr×port rules (stats %+v)",
+			n, pr.Stats())
+	}
+	rng := rand.New(rand.NewSource(11))
+	for probe := 0; probe < 200; probe++ {
+		i := rng.Intn(n)
+		k := filter.Key{
+			SrcIP:   ip.AddrFrom4(10, 1, byte(i>>8), byte(i)),
+			SrcPort: uint16(1000 + rng.Intn(n+100)),
+			DstIP:   testAddrs[rng.Intn(len(testAddrs))],
+			DstPort: testPorts[rng.Intn(len(testPorts))],
+		}
+		checkParity(t, pr, rules, k)
+	}
+}
+
+// TestAppendMatchesReusesDst pins the zero-allocation contract: with a
+// pre-grown dst, AppendMatches must not allocate.
+func TestAppendMatchesReusesDst(t *testing.T) {
+	rules := []filter.Key{{SrcPort: 7}, {SrcPort: 7, DstPort: 80}, {}}
+	pr := Compile(rules)
+	k := filter.Key{SrcIP: testAddrs[1], SrcPort: 7, DstIP: testAddrs[2], DstPort: 80}
+	dst := make([]int32, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = pr.AppendMatches(dst[:0], k)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMatches into pre-grown dst allocated %.1f/op", allocs)
+	}
+	if !sameIndices(dst, []int32{0, 1, 2}) {
+		t.Fatalf("got %v, want [0 1 2]", dst)
+	}
+}
+
+// TestLargeRegistryShape compiles a perf-bench-shaped registry (many
+// rules differing in one dimension) and checks the table program, not
+// the fallback, handles it.
+func TestLargeRegistryShape(t *testing.T) {
+	const n = 8000
+	rules := make([]filter.Key, n)
+	for i := range rules {
+		rules[i] = filter.Key{SrcPort: uint16(10000 + i%50000), DstIP: testAddrs[3]}
+	}
+	pr := Compile(rules)
+	if st := pr.Stats(); st.Scan {
+		t.Fatalf("one-varying-dimension registry fell back to scan: %+v", st)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for probe := 0; probe < 100; probe++ {
+		k := filter.Key{
+			SrcIP:   testAddrs[4],
+			SrcPort: uint16(rng.Intn(65536)),
+			DstIP:   testAddrs[rng.Intn(len(testAddrs))],
+			DstPort: uint16(rng.Intn(3)),
+		}
+		checkParity(t, pr, rules, k)
+	}
+}

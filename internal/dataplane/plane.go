@@ -484,7 +484,11 @@ func (pl *Plane) SetLog(fn func(string)) {
 	pl.do(func(_ int, p *proxy.Proxy) { p.Log = fn })
 }
 
-// FlushMatchCache drops every shard's negative-match cache.
+// FlushMatchCache recompiles every shard's registry match program. The
+// broadcast rides the quiesce/epoch barrier like any other mutation,
+// so each shard swaps its program between batches — no packet can
+// observe a half-built program, and once the call returns every shard
+// answers from a program at least as new as the current registry.
 func (pl *Plane) FlushMatchCache() {
 	pl.do(func(_ int, p *proxy.Proxy) { p.FlushMatchCache() })
 }
@@ -513,6 +517,8 @@ func (pl *Plane) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".dropped_by_filter", func() int64 { return pl.StatsSnapshot().DroppedByFilter })
 	r.Counter(prefix+".injected", func() int64 { return pl.StatsSnapshot().Injected })
 	r.Counter(prefix+".reinjected", func() int64 { return pl.StatsSnapshot().Reinjected })
+	r.Counter(prefix+".registry_misses", func() int64 { return pl.StatsSnapshot().RegistryMisses })
+	r.Counter(prefix+".registry_rebuilds", func() int64 { return pl.StatsSnapshot().RegistryRebuilds })
 	r.Gauge(prefix+".streams", func() float64 {
 		var t int64
 		for _, s := range pl.shards {

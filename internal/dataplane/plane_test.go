@@ -162,12 +162,12 @@ func TestCommandRouting(t *testing.T) {
 	}
 }
 
-// TestNegCacheCoherenceInline is the satellite-2 regression: traffic
-// first seen with no matching registration populates a shard's
-// negative-match cache; a wild-card registration added mid-traffic
-// must still take effect on that same stream — a stale per-shard
-// negCache entry must never mask it.
-func TestNegCacheCoherenceInline(t *testing.T) {
+// TestWildcardAddCoherenceInline: traffic first seen with no matching
+// registration takes the pass-through miss path on its owning shard; a
+// wild-card registration added mid-traffic must still take effect on
+// that same stream — no stale per-shard match state (once a negCache
+// entry, now a compiled program a mutation left behind) may mask it.
+func TestWildcardAddCoherenceInline(t *testing.T) {
 	pl := standalonePlane(t, 4)
 	raw := mkSeg(t, 7, 1000, []byte("payload-1"))
 	// Pass-through traffic: no registrations, so the owning shard now
@@ -180,17 +180,17 @@ func TestNegCacheCoherenceInline(t *testing.T) {
 	// Same stream, next packet: the wildcard must now catch it.
 	raw2 := mkSeg(t, 7, 2000, []byte("payload-2"))
 	if out := pl.Hook(raw2, nil); len(out) != 0 {
-		t.Fatalf("packet after wildcard add was not dropped (emitted %d): stale negCache", len(out))
+		t.Fatalf("packet after wildcard add was not dropped (emitted %d): stale match state", len(out))
 	}
 	if got := pl.StatsSnapshot().DroppedByFilter; got != 1 {
 		t.Fatalf("DroppedByFilter = %d, want 1", got)
 	}
 }
 
-// TestNegCacheCoherenceConcurrent is the same regression against the
-// concurrent plane, where the mutation crosses goroutines through the
-// epoch/quiesce broadcast.
-func TestNegCacheCoherenceConcurrent(t *testing.T) {
+// TestWildcardAddCoherenceConcurrent is the same regression against
+// the concurrent plane, where the mutation crosses goroutines through
+// the epoch/quiesce broadcast.
+func TestWildcardAddCoherenceConcurrent(t *testing.T) {
 	cat := filter.NewCatalog()
 	filters.RegisterAll(cat)
 	var emitted int
@@ -209,7 +209,7 @@ func TestNegCacheCoherenceConcurrent(t *testing.T) {
 	pl.Dispatch(mkSeg(t, 7, 2000, []byte("payload-2")))
 	pl.Drain()
 	if emitted != 1 {
-		t.Fatalf("packet after wildcard add leaked through a stale negCache (emitted %d)", emitted)
+		t.Fatalf("packet after wildcard add leaked through stale match state (emitted %d)", emitted)
 	}
 	if got := pl.StatsSnapshot().DroppedByFilter; got != 1 {
 		t.Fatalf("DroppedByFilter = %d, want 1", got)

@@ -45,6 +45,11 @@ type Key struct {
 
 // Matches reports whether the (possibly wild-card) key k matches the
 // exact stream key e: every non-zero field of k must equal e's.
+//
+// This is the reference semantics for registry matching: the compiled
+// classifier (internal/classifier) must answer every lookup exactly as
+// a linear scan of this predicate over the registrations would, pinned
+// by parity property tests and the FuzzClassifierParity fuzz target.
 func (k Key) Matches(e Key) bool {
 	return (k.SrcIP.IsZero() || k.SrcIP == e.SrcIP) &&
 		(k.SrcPort == 0 || k.SrcPort == e.SrcPort) &&

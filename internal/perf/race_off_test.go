@@ -1,0 +1,7 @@
+//go:build !race
+
+package perf
+
+// raceEnabled reports whether this test binary carries the race
+// detector; see race_on_test.go.
+const raceEnabled = false

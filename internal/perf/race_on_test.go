@@ -1,0 +1,8 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports whether this test binary carries the race
+// detector, whose shadow-memory instrumentation allocates on its own
+// and breaks AllocsPerRun invariants over large working sets.
+const raceEnabled = true

@@ -1,0 +1,191 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/ip"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// lookupSink defeats dead-code elimination in the lookup benchmarks.
+var lookupSink int
+
+// registryRules builds n distinct registrations of the proxy's common
+// shape — concrete endpoints, wild destination port — so the compiled
+// program has one source-port class per rule.
+func registryRules(n int) []filter.Key {
+	rules := make([]filter.Key, n)
+	for i := range rules {
+		rules[i] = filter.Key{SrcIP: core.WiredAddr,
+			SrcPort: uint16(10000 + i%50000), DstIP: core.MobileAddr}
+	}
+	return rules
+}
+
+// registryProbes returns 16 rotating lookup keys: even slots hit rule
+// 0 (source port 10000, present at every registry size), odd slots
+// miss (source ports 2001..2015 are never registered).
+func registryProbes() []filter.Key {
+	probes := make([]filter.Key, 16)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = filter.Key{SrcIP: core.WiredAddr, SrcPort: 10000,
+				DstIP: core.MobileAddr, DstPort: uint16(5001 + i)}
+		} else {
+			probes[i] = filter.Key{SrcIP: core.WiredAddr, SrcPort: uint16(2000 + i),
+				DstIP: core.MobileAddr, DstPort: 5001}
+		}
+	}
+	return probes
+}
+
+// BenchmarkRegistryLookup isolates the compiled classifier: one
+// AppendMatches per op against registries of increasing size. The
+// program answers in O(1) w.r.t. rule count — two map probes, two port
+// table reads, three cross-table reads — so ns/lookup must stay flat
+// as rules grow. scripts/bench_registry_gate.sh enforces that the
+// 8000-rule cost stays within 1.25x of the 1-rule cost, at
+// 0 allocs/op everywhere.
+func BenchmarkRegistryLookup(b *testing.B) {
+	for _, rules := range []int{1, 64, 1000, 8000} {
+		b.Run(fmt.Sprintf("rules-%d", rules), func(b *testing.B) {
+			pr := classifier.Compile(registryRules(rules))
+			probes := registryProbes()
+			var scratch []int32
+			hits := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch = pr.AppendMatches(scratch[:0], probes[i&15])
+				hits += len(scratch)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/lookup")
+			lookupSink = hits
+		})
+	}
+}
+
+// BenchmarkRegistryChurn is the full short-flow lifecycle under a
+// wild-card launcher: per op, one fresh-key flow (SYN handshake, one
+// data segment, FIN both ways) traverses the proxy, spawning and —
+// once simulated time passes the tcp filter's close grace — reclaiming
+// a queue pair. bytes/flow is the end-to-end allocation cost of one
+// flow (generator included); the scheduler is pumped every 1024 flows
+// so teardown work is paid inside the measured region.
+func BenchmarkRegistryChurn(b *testing.B) {
+	sys := core.NewSystem(core.Config{Seed: 29})
+	sys.MustCommand("load tcp")
+	sys.MustCommand("load launcher")
+	sys.MustCommand("add launcher 0.0.0.0 0 0.0.0.0 0 tcp")
+	hook := sys.ProxyHost.PacketHook()
+	in := sys.ProxyHost.Ifaces()[0]
+	c := workload.NewChurn(workload.ChurnConfig{DataPkts: 1, PayloadSize: 64})
+	for _, raw := range c.NextFlow() { // warm pools and the compiled program
+		hook(raw, in)
+	}
+	sys.Sched.RunFor(30e9)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.TotalAlloc
+	pkts := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, raw := range c.NextFlow() {
+			hook(raw, in)
+			pkts++
+		}
+		if i%1024 == 1023 {
+			sys.Sched.RunFor(30e9)
+		}
+	}
+	sys.Sched.RunFor(30e9)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.TotalAlloc-before)/float64(b.N), "bytes/flow")
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+	if got := sys.Proxy.QueueCount(); got != 0 {
+		b.Fatalf("%d queues leaked after churn", got)
+	}
+}
+
+// TestRegistryLookupZeroAlloc gates the classifier's allocation
+// invariant at scale: neither Match nor AppendMatches into a reused
+// buffer may allocate against an 8000-rule program.
+func TestRegistryLookupZeroAlloc(t *testing.T) {
+	pr := classifier.Compile(registryRules(8000))
+	probes := registryProbes()
+	var scratch []int32
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		k := probes[i&15]
+		i++
+		if pr.Match(k) != (len(pr.AppendMatches(scratch[:0], k)) > 0) {
+			t.Fatal("Match disagrees with AppendMatches")
+		}
+	}); allocs != 0 {
+		t.Fatalf("8000-rule lookup allocates %.1f times per probe, want 0", allocs)
+	}
+}
+
+// mkMissPkt builds a minimal TCP datagram from an unregistered source
+// address, so it can never match registryRules registrations.
+func mkMissPkt(tb testing.TB, src ip.Addr, srcPort uint16) []byte {
+	tb.Helper()
+	seg := tcp.Segment{SrcPort: srcPort, DstPort: 5001, Seq: 1, Ack: 1,
+		Flags: tcp.FlagACK, Window: 65535, Payload: []byte("miss")}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: src, Dst: core.MobileAddr}
+	raw, err := h.Marshal(seg.Marshal(src, core.MobileAddr))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// TestRegistryMissChurnZeroAlloc is the negative-cache regression
+// pinned as an allocation invariant: more than 2^16 packets on
+// distinct never-matching stream keys traverse the full interception
+// path against an 8000-rule registry, and the proxy must allocate
+// nothing. The deleted negative cache failed this exactly — it
+// inserted an entry per distinct key and threw the whole cache away at
+// 2^16 entries, re-running the linear registry scan for every live
+// flow (the mass-eviction cliff).
+func TestRegistryMissChurnZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates across this working set")
+	}
+	sys := core.NewSystem(core.Config{Seed: 31})
+	sys.MustCommand("load rdrop")
+	for _, k := range registryRules(8000) {
+		if err := sys.Proxy.AddFilter("rdrop", k, []string{"0"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hook := sys.ProxyHost.PacketHook()
+	in := sys.ProxyHost.Ifaces()[0]
+
+	const keys = 1<<16 + 4096
+	pkts := make([][]byte, keys)
+	for i := range pkts {
+		// 64511 ports per source address, then advance the address:
+		// every packet is a distinct first-sight stream key.
+		src := ip.AddrFrom4(10, 0, 0, 1) + ip.Addr(i/64511)
+		pkts[i] = mkMissPkt(t, src, uint16(1024+i%64511))
+	}
+	hook(pkts[0], in) // warm pool, emit list, compiled program
+	if allocs := testing.AllocsPerRun(1, func() {
+		for _, raw := range pkts {
+			hook(raw, in)
+		}
+	}); allocs != 0 {
+		t.Fatalf("miss churn over %d distinct keys allocated %.0f times, want 0", keys, allocs)
+	}
+	if sys.Proxy.QueueCount() != 0 {
+		t.Fatal("miss churn built filter queues")
+	}
+}

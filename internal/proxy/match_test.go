@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -19,25 +20,63 @@ func (nopFactory) Priority() filter.Priority                  { return filter.No
 func (nopFactory) Description() string                        { return "registry churn stub" }
 func (nopFactory) New(filter.Env, filter.Key, []string) error { return nil }
 
+// failFactory always fails instantiation, for rollback tests.
+type failFactory struct{}
+
+func (failFactory) Name() string              { return "fail" }
+func (failFactory) Priority() filter.Priority { return filter.Normal }
+func (failFactory) Description() string       { return "always-failing stub" }
+func (failFactory) New(filter.Env, filter.Key, []string) error {
+	return errors.New("fail: refusing instantiation")
+}
+
 func newMatchProxy(t *testing.T) *Proxy {
 	t.Helper()
 	cat := filter.NewCatalog()
 	cat.Register("nop", func() filter.Factory { return nopFactory{name: "nop"} })
+	cat.Register("fail", func() filter.Factory { return failFactory{} })
 	node := netsim.New(sim.NewScheduler(1)).AddNode("proxy")
 	p := New(node, cat)
 	if _, err := p.LoadFilter("nop"); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := p.LoadFilter("fail"); err != nil {
+		t.Fatal(err)
+	}
 	return p
 }
 
-// TestCachedMatchAgreesWithReference is the negative-cache property
-// test: across random interleavings of add/delete on random exact and
-// wild-card keys, cachedMatch must agree with the naive registry scan
-// on every lookup — including repeat lookups served from the cache,
-// and lookups after deletions (which deliberately do not invalidate:
-// removals can only shrink the match set).
-func TestCachedMatchAgreesWithReference(t *testing.T) {
+// refIndices is the reference match list: scan the registry in order
+// with filter.Key.Matches.
+func refIndices(p *Proxy, k filter.Key) []int32 {
+	var out []int32
+	for i, r := range p.registry {
+		if r.key.Matches(k) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sameIndices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledMatchAgreesWithReference is the compiled-classifier
+// property test: across random interleavings of add/delete on random
+// exact and wild-card keys, the compiled program must agree with the
+// naive registry scan on every lookup — both the boolean answer and
+// the exact ordered set of matching registrations buildQueue would
+// instantiate.
+func TestCompiledMatchAgreesWithReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	// A small universe so adds, deletes, and lookups collide often.
 	addrs := []ip.Addr{0, ip.MustParseAddr("10.0.0.1"), ip.MustParseAddr("10.0.0.2")}
@@ -80,61 +119,97 @@ func TestCachedMatchAgreesWithReference(t *testing.T) {
 				}
 			}
 			registered = kept
-		default: // lookup: cached and reference matchers must agree
+		default: // lookup: compiled and reference matchers must agree
 			k := randKey(true)
 			want := p.matchesRegistry(k)
-			if got := p.cachedMatch(k); got != want {
-				t.Fatalf("op %d: cachedMatch(%v) = %v, reference = %v (registry %d entries, cache %d)",
-					i, k, got, want, len(p.registry), len(p.negCache))
+			if got := p.program().Match(k); got != want {
+				t.Fatalf("op %d: prog.Match(%v) = %v, reference = %v (registry %d entries)",
+					i, k, got, want, len(p.registry))
 			}
-			// Immediate repeat: the cache-resident answer must agree too.
-			if got := p.cachedMatch(k); got != want {
-				t.Fatalf("op %d: cache-hit lookup of %v = %v, reference = %v", i, k, got, want)
+			if got, ref := p.program().AppendMatches(nil, k), refIndices(p, k); !sameIndices(got, ref) {
+				t.Fatalf("op %d: prog.AppendMatches(%v) = %v, reference = %v", i, k, got, ref)
 			}
 		}
 	}
 }
 
-// TestNegCacheMassEviction drives the cache past its bound: the
-// overflow reset must keep lookups correct and the cache size bounded.
-func TestNegCacheMassEviction(t *testing.T) {
+// TestMissStormBuildsNoState replaces the old negCache mass-eviction
+// test: the miss path must carry no per-key state at all, so a storm
+// of distinct unmatched keys (far past the old 2^16 cache bound that
+// used to trigger a full-cache discard and rescan cliff) leaves the
+// proxy with nothing but a miss counter — and matching lookups still
+// answer correctly afterwards.
+func TestMissStormBuildsNoState(t *testing.T) {
 	p := newMatchProxy(t)
 	if err := p.AddFilter("nop", filter.Key{SrcPort: 9999}, nil); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < negCacheMax+64; i++ {
+	const storm = 1<<16 + 4096
+	for i := 0; i < storm; i++ {
 		k := filter.Key{
 			SrcIP: ip.AddrFrom4(10, byte(i>>16), byte(i>>8), byte(i)), SrcPort: 7,
 			DstIP: ip.AddrFrom4(10, 0, 0, 1), DstPort: 80,
 		}
-		if p.cachedMatch(k) {
-			t.Fatalf("key %v matched a srcport-9999 registration", k)
-		}
-		if len(p.negCache) > negCacheMax {
-			t.Fatalf("cache grew past bound: %d entries", len(p.negCache))
+		if q := p.buildQueue(k); q != nil {
+			t.Fatalf("key %v built a queue against a srcport-9999 registration", k)
 		}
 	}
-	// A key matching the registration must still be found post-eviction.
-	if !p.cachedMatch(filter.Key{SrcIP: addr1(), SrcPort: 9999, DstIP: addr1(), DstPort: 80}) {
-		t.Fatal("matching key reported unmatched after mass eviction")
+	if got := p.Stats.RegistryMisses.Load(); got != storm {
+		t.Fatalf("RegistryMisses = %d, want %d", got, storm)
+	}
+	if got := p.QueueCount(); got != 0 {
+		t.Fatalf("miss storm left %d queues", got)
+	}
+	// A key matching the registration must still be found.
+	if !p.program().Match(filter.Key{SrcIP: addr1(), SrcPort: 9999, DstIP: addr1(), DstPort: 80}) {
+		t.Fatal("matching key reported unmatched after miss storm")
 	}
 }
 
 func addr1() ip.Addr { return ip.MustParseAddr("10.0.0.1") }
 
-// TestAddInvalidatesNegativeCache pins the invalidation rule: a key
-// cached as unmatched must be re-scanned once a new registration that
-// matches it appears.
-func TestAddInvalidatesNegativeCache(t *testing.T) {
+// TestAddRebuildsProgram pins the rebuild rule: a key the program
+// answers as unmatched must match as soon as a covering registration
+// is added — there is no stale cached negative to invalidate, because
+// AddFilter marks the program dirty and the next lookup recompiles it.
+func TestAddRebuildsProgram(t *testing.T) {
 	p := newMatchProxy(t)
 	k := filter.Key{SrcIP: addr1(), SrcPort: 7, DstIP: addr1(), DstPort: 80}
-	if p.cachedMatch(k) {
+	if p.program().Match(k) {
 		t.Fatal("empty registry matched")
 	}
+	rebuilds := p.Stats.RegistryRebuilds.Load()
 	if err := p.AddFilter("nop", filter.Key{DstPort: 80}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if !p.cachedMatch(k) {
-		t.Fatal("stale negative cache entry survived AddFilter")
+	if !p.program().Match(k) {
+		t.Fatal("program not rebuilt by AddFilter")
+	}
+	if got := p.Stats.RegistryRebuilds.Load(); got != rebuilds+1 {
+		t.Fatalf("RegistryRebuilds moved %d -> %d across one add, want +1", rebuilds, got)
+	}
+}
+
+// TestFailedAddRebuildsProgram covers the AddFilter rollback path: a
+// failed exact-key instantiation must leave the program compiled from
+// the *restored* registry, so the key reads as unmatched again (the
+// old code restored a saved negCache snapshot here; the invariant —
+// nothing can mutate the registry between the append and the rollback
+// — is now documented at the rollback site and moot, since the program
+// is recompiled from the registry itself).
+func TestFailedAddRebuildsProgram(t *testing.T) {
+	p := newMatchProxy(t)
+	k := filter.Key{SrcIP: addr1(), SrcPort: 7, DstIP: addr1(), DstPort: 80}
+	if err := p.AddFilter("fail", k, nil); err == nil {
+		t.Fatal("failing factory add succeeded")
+	}
+	if p.RegistrationCount() != 0 {
+		t.Fatalf("failed add left %d registrations", p.RegistrationCount())
+	}
+	if p.program().Match(k) {
+		t.Fatal("failed add left the key matched in the compiled program")
+	}
+	if q := p.buildQueue(k); q != nil {
+		t.Fatal("failed add left a buildable queue behind")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/classifier"
 	"repro/internal/filter"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -84,11 +85,20 @@ type Proxy struct {
 	queues   map[filter.Key]*queue
 	seq      int
 
-	// negCache remembers exact keys no registration matches, so
-	// steady-state streams without services pay one registry scan ever
-	// instead of one per packet. Invalidated whenever a registration
-	// is added; bounded by negCacheMax.
-	negCache map[filter.Key]struct{}
+	// prog is the compiled registry match program: per-packet lookups
+	// cost O(1) in the rule count with zero allocations — no negative
+	// cache needed, hence no mass-eviction rescan cliff under SYN/FIN
+	// churn. Registry mutations set progDirty instead of recompiling
+	// inline, so a burst of control mutations (policy storms, bulk
+	// provisioning) costs one compile, paid by the first lookup after
+	// the burst — still on the owning goroutine, between packets.
+	// Single-writer: only the owning goroutine swaps the pointer.
+	prog      *classifier.Program
+	progDirty bool
+
+	// progKeys and matchScratch are reusable compile/lookup scratch.
+	progKeys     []filter.Key
+	matchScratch []int32
 
 	// emit is the reusable return slice of intercept: the node
 	// consumes it before the next interception, so the hot path never
@@ -132,6 +142,8 @@ type Stats struct {
 	Reinjected        atomic.Int64
 	HookPanics        atomic.Int64 // filter hook panics caught (never crashes)
 	FilterQuarantines atomic.Int64 // attachments detached after repeated panics
+	RegistryMisses    atomic.Int64 // first-sight packets no registration matched
+	RegistryRebuilds  atomic.Int64 // match-program recompiles (registry mutations)
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -144,6 +156,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Reinjected:        s.Reinjected.Load(),
 		HookPanics:        s.HookPanics.Load(),
 		FilterQuarantines: s.FilterQuarantines.Load(),
+		RegistryMisses:    s.RegistryMisses.Load(),
+		RegistryRebuilds:  s.RegistryRebuilds.Load(),
 	}
 }
 
@@ -157,6 +171,8 @@ type StatsSnapshot struct {
 	Reinjected        int64
 	HookPanics        int64
 	FilterQuarantines int64
+	RegistryMisses    int64
+	RegistryRebuilds  int64
 }
 
 // Merge returns the field-wise sum of a and b.
@@ -168,6 +184,8 @@ func (a StatsSnapshot) Merge(b StatsSnapshot) StatsSnapshot {
 	a.Reinjected += b.Reinjected
 	a.HookPanics += b.HookPanics
 	a.FilterQuarantines += b.FilterQuarantines
+	a.RegistryMisses += b.RegistryMisses
+	a.RegistryRebuilds += b.RegistryRebuilds
 	return a
 }
 
@@ -188,6 +206,7 @@ func NewDetached(node *netsim.Node, catalog *filter.Catalog) *Proxy {
 		catalog: catalog,
 		pool:    make(map[string]filter.Factory),
 		queues:  make(map[filter.Key]*queue),
+		prog:    classifier.Compile(nil),
 	}
 }
 
@@ -212,6 +231,8 @@ func (p *Proxy) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".reinjected", func() int64 { return p.Stats.Reinjected.Load() })
 	r.Counter(prefix+".hook_panics", func() int64 { return p.Stats.HookPanics.Load() })
 	r.Counter(prefix+".filter_quarantines", func() int64 { return p.Stats.FilterQuarantines.Load() })
+	r.Counter(prefix+".registry_misses", func() int64 { return p.Stats.RegistryMisses.Load() })
+	r.Counter(prefix+".registry_rebuilds", func() int64 { return p.Stats.RegistryRebuilds.Load() })
 	r.Gauge(prefix+".streams", func() float64 { return float64(p.QueueCount()) })
 	r.Gauge(prefix+".registrations", func() float64 { return float64(p.RegistrationCount()) })
 }
@@ -503,14 +524,11 @@ func (p *Proxy) sweepQuarantined(q *queue) {
 	q.attached = kept
 }
 
-// negCacheMax bounds the negative-match cache; on overflow the whole
-// cache is dropped (a rare mass eviction is simpler and cheaper than
-// per-entry accounting, and correctness never depends on residency).
-const negCacheMax = 1 << 16
-
 // matchesRegistry is the naive reference matcher: scan every
-// registration for a (wild-card) key matching exact key k. The cached
-// matcher must agree with this on every lookup (see the property test).
+// registration for a (wild-card) key matching exact key k. The
+// compiled match program must agree with this on every lookup (see the
+// property test in match_test.go and the classifier package's parity
+// fuzz target).
 func (p *Proxy) matchesRegistry(k filter.Key) bool {
 	for _, r := range p.registry {
 		if r.key.Matches(k) {
@@ -520,53 +538,76 @@ func (p *Proxy) matchesRegistry(k filter.Key) bool {
 	return false
 }
 
-// cachedMatch is matchesRegistry behind the negative-result cache:
-// keys once found unmatched skip the registry scan until a new
-// registration invalidates the cache.
-func (p *Proxy) cachedMatch(k filter.Key) bool {
-	if _, neg := p.negCache[k]; neg {
-		return false
+// markProgramDirty flags the compiled program as stale. Every registry
+// mutation calls it before returning, and program() recompiles before
+// the next lookup, so no lookup can ever see a pre-mutation answer —
+// there is no cached per-key state that can go stale, which is what
+// retired the old negative-match cache (and its mass-eviction rescan
+// cliff at 2^16 keys under SYN/FIN churn). Deferring the compile to
+// the next lookup makes a burst of mutations cost one compile instead
+// of one per mutation.
+func (p *Proxy) markProgramDirty() { p.progDirty = true }
+
+// program returns the compiled match program, recompiling first if a
+// mutation left it dirty.
+//
+// Concurrency: only the proxy's owning goroutine mutates the registry
+// and calls lookups; on the concurrent plane that is the shard
+// goroutine, where mutations land between batches (the plane's
+// quiesce/epoch barrier) and lookups happen per packet. The rebuild
+// and pointer swap are therefore ordinary single-writer state — no
+// packet on this shard can ever observe a half-built program, and the
+// epoch bump after the mutation barrier publishes the registry change
+// to control-plane readers.
+func (p *Proxy) program() *classifier.Program {
+	if p.progDirty {
+		p.rebuildProgram()
 	}
-	if p.matchesRegistry(k) {
-		return true
-	}
-	if p.negCache == nil || len(p.negCache) >= negCacheMax {
-		p.negCache = make(map[filter.Key]struct{})
-	}
-	p.negCache[k] = struct{}{}
-	return false
+	return p.prog
 }
 
-// invalidateMatchCache drops the negative cache; call after any
-// change that can turn a non-match into a match (adding a
-// registration). Removals never do, so delete paths keep the cache.
-func (p *Proxy) invalidateMatchCache() {
-	if len(p.negCache) > 0 {
-		p.negCache = nil
+// rebuildProgram recompiles the match program from the registry.
+func (p *Proxy) rebuildProgram() {
+	keys := p.progKeys[:0]
+	for _, r := range p.registry {
+		keys = append(keys, r.key)
 	}
+	p.progKeys = keys
+	p.prog = classifier.Compile(keys)
+	p.progDirty = false
+	p.Stats.RegistryRebuilds.Add(1)
 }
 
-// FlushMatchCache publicly drops the negative-match cache. Steady
-// state never needs this — registration changes invalidate
-// automatically — but benchmarks use it to measure the first-sight
-// registry scan, and operators can force a re-scan after poking proxy
-// internals in tests.
-func (p *Proxy) FlushMatchCache() { p.negCache = nil }
+// FlushMatchCache forces an immediate recompile of the registry match
+// program. Steady state never needs this — registry mutations mark the
+// program dirty and the next lookup rebuilds it — but the concurrent
+// plane broadcasts it as a control message (exercising epoch-boundary
+// program swaps under load), and tests use it after poking proxy
+// internals.
+func (p *Proxy) FlushMatchCache() { p.rebuildProgram() }
+
+// MatchProgramStats exposes the compiled program's shape (rule count,
+// equivalence classes, table entries, scan fallback). Owning-goroutine
+// only, like every registry accessor.
+func (p *Proxy) MatchProgramStats() classifier.Stats { return p.program().Stats() }
 
 // buildQueue instantiates every registered filter whose wild-card key
 // matches the new exact key (thesis: "a filter queue is built by
 // creating a new instantiation of each filter object in the stream
 // registry whose associated wild-card key matches the packet key").
-// Returns nil when no registration matches.
+// Returns nil when no registration matches. The compiled program
+// answers the match in O(1) w.r.t. registry size and, on the
+// (overwhelmingly common) no-match path, allocation-free.
 func (p *Proxy) buildQueue(k filter.Key) *queue {
-	if !p.cachedMatch(k) {
+	p.matchScratch = p.program().AppendMatches(p.matchScratch[:0], k)
+	if len(p.matchScratch) == 0 {
+		p.Stats.RegistryMisses.Add(1)
 		return nil
 	}
-	for _, r := range p.registry {
-		if r.key.Matches(k) {
-			if err := r.factory.New(p, k, r.args); err != nil {
-				p.Logf("proxy: %s insertion on %v failed: %v", r.factory.Name(), k, err)
-			}
+	for _, i := range p.matchScratch {
+		r := p.registry[i]
+		if err := r.factory.New(p, k, r.args); err != nil {
+			p.Logf("proxy: %s insertion on %v failed: %v", r.factory.Name(), k, err)
 		}
 	}
 	q := p.queues[k] // filters attached via Env.Attach
@@ -607,6 +648,7 @@ func (p *Proxy) UnloadFilter(name string) error {
 	}
 	p.registry = keep
 	p.noteSizes()
+	p.markProgramDirty()
 	p.removeAttachments(name, func(filter.Key) bool { return true })
 	return nil
 }
@@ -626,21 +668,24 @@ func (p *Proxy) AddFilter(name string, k filter.Key, args []string) error {
 			return fmt.Errorf("proxy: filter %q %w", name, ErrNotLoaded)
 		}
 	}
-	// Remember the pre-add match-cache so a failed instantiation can
-	// restore it along with the registry: a registration left behind
-	// after New fails would respawn the broken filter on the next
-	// matching packet.
-	saved := p.negCache
 	p.registry = append(p.registry, &registration{key: k, factory: f, args: args})
 	p.noteSizes()
-	// A new registration can turn cached negative matches stale;
-	// removals (delete/remove) never can, so only adds invalidate.
-	p.invalidateMatchCache()
+	p.markProgramDirty()
 	if !k.IsWild() {
 		if err := f.New(p, k, args); err != nil {
+			// Roll back: a registration left behind after New fails
+			// would respawn the broken filter on the next matching
+			// packet. Recompiling from the restored registry is always
+			// correct — unlike the retired negCache-snapshot restore,
+			// there is no saved lookup state that an interleaved
+			// mutation could make stale, because the program is a pure
+			// function of p.registry and f.New (the only code that ran
+			// since the append) has no path back into the registry:
+			// filter.Env exposes Attach/RemoveStream/Spawn, none of
+			// which touch registrations.
 			p.registry = p.registry[:len(p.registry)-1]
 			p.noteSizes()
-			p.negCache = saved
+			p.markProgramDirty()
 			return err
 		}
 		return nil
@@ -679,6 +724,7 @@ func (p *Proxy) DeleteFilter(name string, k filter.Key) error {
 	}
 	p.registry = keep
 	p.noteSizes()
+	p.markProgramDirty()
 	// Remove attachments on the exact key and its reverse (filters
 	// conventionally attach both directions), or on all matching keys
 	// for a wild-card delete.

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Flat-lookup regression gate for the compiled registry classifier.
+#
+# Runs a fresh BenchmarkRegistryLookup across registry sizes and
+# enforces, on every host:
+#
+#   1. Zero allocations per lookup at every size. The classifier
+#      answers from immutable tables; any allocation on the lookup
+#      path is a regression toward per-key match state (the deleted
+#      negative cache started exactly that way).
+#   2. Flatness: ns/lookup at 8000 rules must stay within 1.25x of
+#      ns/lookup at 1 rule. The compiled program costs two map probes,
+#      two port-table reads, and three cross-table reads regardless of
+#      rule count; a ratio above 1.25 means something rule-linear crept
+#      back into the hot path. Each size is measured -count=3 and the
+#      per-size minimum is compared, so scheduler noise (which at ~17ns
+#      per op swamps single samples) cannot flake the gate.
+set -e
+cd "$(dirname "$0")/.."
+
+OUT=/tmp/bench_registry_gate.txt
+
+go test ./internal/perf -run '^$' -bench 'BenchmarkRegistryLookup$' \
+	-benchmem -count=3 -benchtime 1s | tee "$OUT"
+
+# min_metric SIZE UNIT: minimum value of UNIT across the runs of
+# BenchmarkRegistryLookup/rules-SIZE.
+min_metric() {
+	awk -v size="$1" -v unit="$2" '
+	$1 ~ ("^BenchmarkRegistryLookup/rules-" size "(-[0-9]+)?$") {
+		for (i = 2; i <= NF; i++) if ($i == unit && (best == "" || $(i-1) < best)) best = $(i-1)
+	}
+	END { print best }' "$OUT"
+}
+
+for size in 1 64 1000 8000; do
+	NS=$(min_metric "$size" "ns/lookup")
+	ALLOCS=$(min_metric "$size" "allocs/op")
+	if [ -z "$NS" ] || [ -z "$ALLOCS" ]; then
+		echo "bench-registry-gate: FAIL (could not parse rules-$size from benchmark output)"
+		exit 1
+	fi
+	if [ "$ALLOCS" != "0" ]; then
+		echo "bench-registry-gate: FAIL (rules-$size lookup allocates $ALLOCS/op, want 0)"
+		exit 1
+	fi
+	echo "bench-registry-gate: rules-$size $NS ns/lookup, 0 allocs/op"
+done
+
+NS1=$(min_metric 1 "ns/lookup")
+NS8K=$(min_metric 8000 "ns/lookup")
+awk -v n1="$NS1" -v n8k="$NS8K" 'BEGIN {
+	if (n8k > 1.25 * n1) {
+		printf "bench-registry-gate: FAIL (8000-rule lookup %.2fns > 1.25x 1-rule %.2fns: rule-linear cost crept back)\n", n8k, n1
+		exit 1
+	}
+	printf "bench-registry-gate: flatness OK (8kv1 ratio %.2f <= 1.25)\n", n8k / n1
+}' || exit 1
+
+echo "bench-registry-gate: OK"
