@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate bench-registry bench-registry-gate obs-determinism chaos adapt verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate bench-registry bench-registry-gate obs-determinism chaos adapt flows-determinism verify
 
 build:
 	$(GO) build ./...
@@ -152,5 +152,20 @@ adapt:
 	@$(GO) run ./cmd/wsim -adapt -seed 13 > /tmp/adapt-run2.txt
 	@cmp /tmp/adapt-run1.txt /tmp/adapt-run2.txt && echo "adapt: OK"
 
-verify: build test vet fmt-check obs-determinism chaos adapt
+# Flow-analytics gate: the flow-log package and shard-merge property
+# under the race detector, then two separate processes running the
+# flow-log scenario with the same seed whose full outputs (transfer
+# legs, flow aggregates, rendered flows table, policy trace, metrics)
+# must be byte-identical. The scenario itself asserts the policy rule
+# fires on flow.retrans_ratio during the lossy window and reverts
+# after recovery.
+flows-determinism:
+	$(GO) test -race -count=1 ./internal/flowlog
+	$(GO) test -race -count=1 -run 'TestFlowRecordsShardMergeEquivalence' ./internal/dataplane
+	$(GO) test -race -count=1 -run 'TestFlowsDeterminism' ./internal/experiments
+	@$(GO) run ./cmd/wsim -flows -seed 17 > /tmp/flows-run1.txt
+	@$(GO) run ./cmd/wsim -flows -seed 17 > /tmp/flows-run2.txt
+	@cmp /tmp/flows-run1.txt /tmp/flows-run2.txt && echo "flows-determinism: OK"
+
+verify: build test vet fmt-check obs-determinism chaos adapt flows-determinism
 	@echo "verify: OK"

@@ -156,6 +156,9 @@ func runChurn(flows, shards, batch int) {
 		float64(st.Flows)/elapsed.Seconds(), float64(st.Packets)/elapsed.Seconds(), emitted.Load())
 	log.Printf("spd: churn: intercepted=%d misses=%d rebuilds=%d live-queues=%d",
 		snap.Intercepted, snap.RegistryMisses, snap.RegistryRebuilds, queues)
+	fs := pl.FlowStats()
+	log.Printf("spd: churn: flow-log active=%d opened=%d closed=%d evicted=%d retrans=%d",
+		fs.Active, fs.Opened, fs.Closed, fs.Evicted, fs.Retrans)
 }
 
 // multiFlag collects a repeatable string flag.

@@ -14,6 +14,9 @@
 //	wsim -adapt            run the adaptive-services scenario (policy
 //	                       engines close the EEM→SP loop around a link
 //	                       degradation; byte-identical per seed)
+//	wsim -flows            run the flow-log analytics scenario (per-flow
+//	                       L4 records drive a policy rule on the fleet
+//	                       retrans ratio; byte-identical per seed)
 package main
 
 import (
@@ -32,7 +35,8 @@ func main() {
 	events := flag.Bool("events", false, "run the observability demo scenario")
 	chaos := flag.Bool("chaos", false, "run the chaos soak scenario (fault injection)")
 	adapt := flag.Bool("adapt", false, "run the adaptive-services scenario (policy engine)")
-	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos/-adapt")
+	flows := flag.Bool("flows", false, "run the flow-log analytics scenario (per-flow records feed the policy loop)")
+	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos/-adapt/-flows")
 	flag.Parse()
 
 	switch {
@@ -59,6 +63,11 @@ func main() {
 		}
 	case *adapt:
 		if err := experiments.AdaptDemo(*seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *flows:
+		if err := experiments.FlowsDemo(*seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -29,6 +29,8 @@ const (
 	RouteMergedReport
 	// RouteMergedStreams merges per-shard stream accounting.
 	RouteMergedStreams
+	// RouteMergedFlows merges per-shard flow-log records.
+	RouteMergedFlows
 )
 
 // Spec describes one control command.
@@ -105,6 +107,8 @@ var Specs = []Spec{
 		MinArgs: 0, MaxArgs: -1, Kati: true, Route: RouteShard0},
 	{Name: "events", Args: "[n]", Help: "tail of the observability event log",
 		MinArgs: 0, MaxArgs: -1, Kati: true, Route: RouteShard0},
+	{Name: "flows", Args: "[n]", Help: "per-flow L4 records (active + recently closed)",
+		MinArgs: 0, MaxArgs: 1, Kati: true, Route: RouteMergedFlows},
 	{Name: "auth", Args: "<token>", Help: "authenticate a guarded proxy",
 		MinArgs: 1, MaxArgs: 1, Kati: true, Route: RouteShard0},
 	{Name: "help", Help: "list commands",

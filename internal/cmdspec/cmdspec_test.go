@@ -6,16 +6,16 @@ import "testing"
 // the control-interface surface that experiment outputs and Kati
 // transcripts depend on, so grammar-table edits must show up here.
 func TestHelpLineGolden(t *testing.T) {
-	const want = "commands: load remove add delete report streams filters service unservice services stats events auth help\n"
+	const want = "commands: load remove add delete report streams filters service unservice services stats events flows auth help\n"
 	if got := HelpLine(); got != want {
 		t.Fatalf("HelpLine():\n got %q\nwant %q", got, want)
 	}
-	const wantExt = "commands: load remove add delete report streams filters service unservice services stats events auth help policy\n"
+	const wantExt = "commands: load remove add delete report streams filters service unservice services stats events flows auth help policy\n"
 	if got := HelpLine("policy"); got != wantExt {
 		t.Fatalf("HelpLine(policy):\n got %q\nwant %q", got, wantExt)
 	}
 	// Extension names are sorted regardless of registration order.
-	const wantTwo = "commands: load remove add delete report streams filters service unservice services stats events auth help aaa policy\n"
+	const wantTwo = "commands: load remove add delete report streams filters service unservice services stats events flows auth help aaa policy\n"
 	if got := HelpLine("policy", "aaa"); got != wantTwo {
 		t.Fatalf("HelpLine(policy, aaa):\n got %q\nwant %q", got, wantTwo)
 	}
@@ -37,6 +37,7 @@ func TestKatiHelpGolden(t *testing.T) {
 		"  services                               list defined services\n" +
 		"  stats                                  unified metrics snapshot (proxy/links/tcp/eem)\n" +
 		"  events [n]                             tail of the observability event log\n" +
+		"  flows [n]                              per-flow L4 records (active + recently closed)\n" +
 		"  auth <token>                           authenticate a guarded proxy\n" +
 		"  policy list|add <rule>|del <name>|trace [n] inspect and mutate adaptive policy rules\n"
 	if got := KatiHelp(); got != want {
@@ -47,7 +48,7 @@ func TestKatiHelpGolden(t *testing.T) {
 func TestLookupAndFlags(t *testing.T) {
 	for _, name := range []string{"load", "remove", "add", "delete", "report",
 		"streams", "filters", "service", "unservice", "services", "stats",
-		"events", "auth", "help", "policy"} {
+		"events", "flows", "auth", "help", "policy"} {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("Lookup(%q) missing", name)
 		}
@@ -61,7 +62,7 @@ func TestLookupAndFlags(t *testing.T) {
 		}
 	}
 	for _, name := range []string{"report", "streams", "filters", "services",
-		"stats", "events", "auth", "help", "bogus"} {
+		"stats", "events", "flows", "auth", "help", "bogus"} {
 		if Mutating(name) {
 			t.Errorf("Mutating(%q) = true, want false", name)
 		}

@@ -216,6 +216,10 @@ func NewSystem(cfg Config) *System {
 	sys.EEM.RegisterMetrics(sys.Metrics, "eem")
 	nodeSrc := &eem.NodeSource{Node: sys.ProxyHost, TCP: ctrl}
 	sys.EEM.AddSource(nodeSrc)
+	// Traffic-derived variables from the flow-log analytics plane, so
+	// policy rules can react to what the streams are doing (retrans
+	// ratio, zero-window rate), not just what the links report.
+	sys.EEM.AddSource(newFlowVarSource(s, sys.Plane))
 	// Adaptive filters query the same variables through their Env
 	// (thesis ch. 6: filters are EEM clients too).
 	sys.Plane.SetMetricSource(func(name string, index int) (float64, bool) {

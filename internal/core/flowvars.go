@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/eem"
+	"repro/internal/sim"
+)
+
+// flowVarNames are the EEM variables the flow-log analytics plane
+// exports: absolute fleet counters plus windowed traffic-condition
+// ratios a policy rule can fire on (flow.retrans_ratio above all).
+var flowVarNames = []string{
+	"flow.active", "flow.opened", "flow.closed", "flow.evicted",
+	"flow.pkts", "flow.data_pkts", "flow.retrans", "flow.zero_win",
+	"flow.retrans_ratio", "flow.zero_win_rate", "flow.rtt_mean_ms",
+}
+
+// flowVarSource serves flow-log aggregates to the EEM. The windowed
+// ratios are deltas between successive window rolls, in the spirit of
+// NodeSource.rate: flow.retrans_ratio is retransmitted-per-data
+// segments over the last window, so it climbs while a degradation is
+// losing packets and decays to zero once the link recovers — which is
+// what lets a hysteresis rule revert. Windows are at least
+// flowVarMinWindow wide: retransmissions cluster around RTO expiries,
+// so a raw query-to-query delta (the EEM periodic pass and the policy
+// pump both read these variables, fragmenting the intervals) would
+// oscillate between 0 and spikes and flap any rule watching it.
+// Queries inside an open window return the previous window's value,
+// keeping the series deterministic regardless of reader interleaving.
+type flowVarSource struct {
+	sched   *sim.Scheduler
+	plane   *dataplane.Plane
+	windows map[string]*flowWindow
+}
+
+// flowWindow is one ratio variable's inter-query delta state.
+type flowWindow struct {
+	lastT    sim.Time
+	num, den int64
+	value    float64
+}
+
+func newFlowVarSource(s *sim.Scheduler, pl *dataplane.Plane) *flowVarSource {
+	return &flowVarSource{sched: s, plane: pl, windows: make(map[string]*flowWindow)}
+}
+
+// Variables implements eem.Source.
+func (s *flowVarSource) Variables() []string { return flowVarNames }
+
+// Get implements eem.Source.
+func (s *flowVarSource) Get(name string, index int) (eem.Value, error) {
+	snap := s.plane.FlowStats()
+	switch name {
+	case "flow.active":
+		return eem.LongValue(snap.Active), nil
+	case "flow.opened":
+		return eem.LongValue(snap.Opened), nil
+	case "flow.closed":
+		return eem.LongValue(snap.Closed), nil
+	case "flow.evicted":
+		return eem.LongValue(snap.Evicted), nil
+	case "flow.pkts":
+		return eem.LongValue(snap.Pkts), nil
+	case "flow.data_pkts":
+		return eem.LongValue(snap.DataPkts), nil
+	case "flow.retrans":
+		return eem.LongValue(snap.Retrans), nil
+	case "flow.zero_win":
+		return eem.LongValue(snap.ZeroWin), nil
+	case "flow.retrans_ratio":
+		return eem.DoubleValue(s.window(name, snap.Retrans, snap.DataPkts)), nil
+	case "flow.zero_win_rate":
+		return eem.DoubleValue(s.window(name, snap.ZeroWin, snap.Pkts)), nil
+	case "flow.rtt_mean_ms":
+		return eem.DoubleValue(s.window(name, snap.RTTSumMicros, snap.RTTSamples) / 1000), nil
+	default:
+		return eem.Value{}, fmt.Errorf("%w: core: flow source has no variable %q", eem.ErrUnknownVar, name)
+	}
+}
+
+// flowVarMinWindow is the minimum width of a ratio window.
+const flowVarMinWindow = 2 * time.Second
+
+// window returns num/den over the last completed window (0 for an
+// empty or first window; the cached value while the current window is
+// still open).
+func (s *flowVarSource) window(key string, num, den int64) float64 {
+	now := s.sched.Now()
+	w := s.windows[key]
+	if w == nil {
+		s.windows[key] = &flowWindow{lastT: now, num: num, den: den}
+		return 0
+	}
+	if now.Sub(w.lastT) < flowVarMinWindow {
+		return w.value
+	}
+	dn, dd := num-w.num, den-w.den
+	w.lastT, w.num, w.den = now, num, den
+	if dd > 0 {
+		w.value = float64(dn) / float64(dd)
+	} else {
+		w.value = 0
+	}
+	return w.value
+}
+
+var _ eem.Source = (*flowVarSource)(nil)

@@ -1,0 +1,88 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// buildFlowTrace builds a flow-log workload: a churn storm where every
+// third flow is left open (its FIN pair is withheld), so the resulting
+// records span both the active table and the closed ring. Fresh keys
+// per flow make the renderer's sort key total even with every private
+// shard clock at zero.
+func buildFlowTrace(flows int) [][]byte {
+	c := workload.NewChurn(workload.ChurnConfig{DataPkts: 2, PayloadSize: 64})
+	var trace [][]byte
+	for i := 0; i < flows; i++ {
+		pkts := c.NextFlow()
+		if i%3 == 0 {
+			pkts = pkts[:len(pkts)-2] // withhold both FINs: flow stays active
+		}
+		trace = append(trace, pkts...)
+	}
+	return trace
+}
+
+// TestFlowRecordsShardMergeEquivalence is the PR 8 shard-merge
+// property: for the same traffic, the merged "flows" output of an
+// N-shard plane — inline or concurrent batched — must be byte-equal to
+// the 1-shard inline reference, and the merged flow counters must sum
+// to the same totals. Direction-normalized steering keeps each flow
+// whole on one shard, so any divergence means a flow was split,
+// double-counted, or lost in the merge.
+func TestFlowRecordsShardMergeEquivalence(t *testing.T) {
+	trace := buildFlowTrace(120)
+
+	runInline := func(shards int) (string, string) {
+		s := sim.NewScheduler(7)
+		net := netsim.New(s)
+		node := net.AddNode("proxy")
+		pl := dataplane.NewInline(node, detCatalog(), shards)
+		for _, raw := range trace {
+			pl.Hook(raw, nil)
+		}
+		return pl.Command("flows 1000"), fmt.Sprintf("%+v", pl.FlowStats())
+	}
+
+	refOut, refStats := runInline(1)
+	if refOut == "" {
+		t.Fatal("reference flows output empty")
+	}
+
+	for _, shards := range []int{2, 4, 8} {
+		out, stats := runInline(shards)
+		if out != refOut {
+			t.Fatalf("inline %d-shard flows output diverges from 1-shard:\n got %q\nwant %q", shards, out, refOut)
+		}
+		if stats != refStats {
+			t.Fatalf("inline %d-shard FlowStats %s, want %s", shards, stats, refStats)
+		}
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		var mu sync.Mutex
+		pl := dataplane.NewConcurrent(dataplane.ConcurrentConfig{
+			Shards: shards, Catalog: detCatalog(), Seed: 7, RingSize: 64,
+			Sink: func(_ int, out [][]byte) { mu.Lock(); mu.Unlock() },
+		})
+		for _, raw := range trace {
+			pl.Dispatch(raw)
+		}
+		pl.Drain()
+		out := pl.Command("flows 1000")
+		stats := fmt.Sprintf("%+v", pl.FlowStats())
+		pl.Close()
+		if out != refOut {
+			t.Fatalf("concurrent %d-shard flows output diverges from inline:\n got %q\nwant %q", shards, out, refOut)
+		}
+		if stats != refStats {
+			t.Fatalf("concurrent %d-shard FlowStats %s, want %s", shards, stats, refStats)
+		}
+	}
+}

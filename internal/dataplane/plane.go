@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cmdspec"
 	"repro/internal/filter"
+	"repro/internal/flowlog"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/proxy"
@@ -519,6 +520,12 @@ func (pl *Plane) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".reinjected", func() int64 { return pl.StatsSnapshot().Reinjected })
 	r.Counter(prefix+".registry_misses", func() int64 { return pl.StatsSnapshot().RegistryMisses })
 	r.Counter(prefix+".registry_rebuilds", func() int64 { return pl.StatsSnapshot().RegistryRebuilds })
+	r.Gauge(prefix+".flow.active", func() float64 { return float64(pl.FlowStats().Active) })
+	r.Counter(prefix+".flow.opened", func() int64 { return pl.FlowStats().Opened })
+	r.Counter(prefix+".flow.closed", func() int64 { return pl.FlowStats().Closed })
+	r.Counter(prefix+".flow.evicted", func() int64 { return pl.FlowStats().Evicted })
+	r.Counter(prefix+".flow.retrans", func() int64 { return pl.FlowStats().Retrans })
+	r.Counter(prefix+".flow.zero_win", func() int64 { return pl.FlowStats().ZeroWin })
 	r.Gauge(prefix+".streams", func() float64 {
 		var t int64
 		for _, s := range pl.shards {
@@ -633,6 +640,15 @@ func (pl *Plane) Command(line string) string {
 		return pl.mergedReport(name)
 	case cmdspec.RouteMergedStreams:
 		return pl.mergedStreams()
+	case cmdspec.RouteMergedFlows:
+		n := flowlog.DefaultShow
+		if len(fields) > 1 {
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil {
+				spec, _ := cmdspec.Lookup("flows")
+				return spec.UsageError()
+			}
+		}
+		return pl.mergedFlows(n)
 	default:
 		// Identical shared state on every shard — answer from shard 0.
 		var out string
@@ -786,6 +802,33 @@ func (pl *Plane) mergedStreams() string {
 			si.Key, strings.Join(si.Filters, ","), si.Packets, si.Bytes)
 	}
 	return b.String()
+}
+
+// FlowRecords gathers every shard's flow records under the quiesce
+// barrier. Steering is direction-normalized, so each flow lives whole
+// on exactly one shard: concatenation is the complete merge, and the
+// renderer's total order makes the output independent of the layout.
+func (pl *Plane) FlowRecords() []flowlog.Record {
+	rs := make([][]flowlog.Record, pl.n)
+	pl.do(func(i int, p *proxy.Proxy) { rs[i] = p.AppendFlowRecords(nil) })
+	var out []flowlog.Record
+	for _, r := range rs {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// FlowStats returns the merged flow-log counters across shards.
+func (pl *Plane) FlowStats() flowlog.StatsSnapshot {
+	var t flowlog.StatsSnapshot
+	for _, s := range pl.shards {
+		t = t.Merge(s.FlowStats())
+	}
+	return t
+}
+
+func (pl *Plane) mergedFlows(n int) string {
+	return flowlog.Render(pl.FlowRecords(), n)
 }
 
 var _ proxy.Commander = (*Plane)(nil)

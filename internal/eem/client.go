@@ -41,11 +41,11 @@ type pdaEntry struct {
 // Client is the low-level EEM client connection machinery. All methods
 // must be called from the event-loop goroutine driving the transports.
 //
-// New code should use the Comma facade (comma.go), which renders the
-// thesis's comma_* interface with explicit notification modes; the
-// exported methods below are thin deprecated wrappers kept for source
-// compatibility. Both the wrappers and Comma share the unexported
-// cores, so behaviour is identical through either surface.
+// The comma_* surface lives on the Comma facade (comma.go), which
+// renders the thesis's interface with explicit notification modes on
+// top of the unexported cores below. Client keeps only the plumbing
+// that is mode-independent: lifecycle (NewClient, Close), transport
+// supervision, staleness, and the variable catalogue.
 type Client struct {
 	dial    Dialer
 	conns   map[string]Conn
@@ -82,14 +82,9 @@ func NewClient(dial Dialer) *Client {
 // are emitted under the "eem-client" subsystem, keyed by server name.
 func (c *Client) SetObs(b *obs.Bus) { c.obs = b }
 
-// SetCallback installs the interrupt-notification callback
-// (comma_setcallback). Registrations made with Attr.Interrupt deliver
+// setCallback installs the interrupt-notification callback
+// (comma_setcallback); Comma.Register's WithCallback mode routes
 // through it.
-//
-// Deprecated: use Comma.Register with WithCallback, which scopes the
-// callback to one registration instead of the whole client.
-func (c *Client) SetCallback(fn func(ID, Value)) { c.setCallback(fn) }
-
 func (c *Client) setCallback(fn func(ID, Value)) { c.cb = fn }
 
 // Close disconnects from all servers and drops state (comma_term).
@@ -185,17 +180,12 @@ func (c *Client) noteDisconnect(server string) {
 	}
 }
 
-// Register asks id's server to watch the variable under attr
+// register asks id's server to watch the variable under attr
 // (comma_var_register). Updates land silently in the protected data
 // area; if attr.Interrupt is set the callback also fires on entry to
 // the region. The interest is remembered even if the server is
 // currently unreachable: a supervising client re-registers it once
 // the connection comes back.
-//
-// Deprecated: use Comma.Register, which makes the notification mode
-// explicit (default PDA-silent, WithCallback, WithPDA, WithPoll).
-func (c *Client) Register(id ID, attr Attr) error { return c.register(id, attr) }
-
 func (c *Client) register(id ID, attr Attr) error {
 	c.interests[id] = attr
 	if _, ok := c.pda[id]; !ok {
@@ -213,11 +203,7 @@ func (c *Client) localRegister(id ID) {
 	}
 }
 
-// Deregister removes one registration (comma_var_deregister).
-//
-// Deprecated: use Comma.Deregister.
-func (c *Client) Deregister(id ID) error { return c.deregister(id) }
-
+// deregister removes one registration (comma_var_deregister).
 func (c *Client) deregister(id ID) error {
 	delete(c.interests, id)
 	delete(c.pda, id)
@@ -231,12 +217,8 @@ func (c *Client) localDeregister(id ID) {
 	delete(c.pda, id)
 }
 
-// DeregisterAll removes every registration on every server
+// deregisterAll removes every registration on every server
 // (comma_var_deregisterall).
-//
-// Deprecated: use Comma.DeregisterAll.
-func (c *Client) DeregisterAll() { c.deregisterAll() }
-
 func (c *Client) deregisterAll() {
 	servers := make([]string, 0, len(c.conns))
 	for s := range c.conns {
@@ -250,13 +232,9 @@ func (c *Client) deregisterAll() {
 	c.interests = make(map[ID]Attr)
 }
 
-// Value returns the most recent value from the protected data area
+// value returns the most recent value from the protected data area
 // (comma_query_getvalue) and whether one has arrived. It clears the
 // changed mark.
-//
-// Deprecated: use Comma.GetValue.
-func (c *Client) Value(id ID) (Value, bool) { return c.value(id) }
-
 func (c *Client) value(id ID) (Value, bool) {
 	e, ok := c.pda[id]
 	if !ok || !e.haveValue {
@@ -293,36 +271,24 @@ func (c *Client) stale(id ID) bool {
 	return ok && e.stale
 }
 
-// InRange reports whether the most recent update had the variable
+// inRange reports whether the most recent update had the variable
 // inside its region of interest (comma_query_isinrange).
-//
-// Deprecated: use Comma.IsInRange.
-func (c *Client) InRange(id ID) bool { return c.inRange(id) }
-
 func (c *Client) inRange(id ID) bool {
 	e, ok := c.pda[id]
 	return ok && e.inRange
 }
 
-// HasChanged reports whether the variable changed since last read
+// hasChanged reports whether the variable changed since last read
 // (comma_query_haschanged).
-//
-// Deprecated: use Comma.HasChanged.
-func (c *Client) HasChanged(id ID) bool { return c.hasChanged(id) }
-
 func (c *Client) hasChanged(id ID) bool {
 	e, ok := c.pda[id]
 	return ok && e.changed
 }
 
-// PollOnce retrieves a single value directly from the server
+// pollOnce retrieves a single value directly from the server
 // (comma_query_getvalue_once). The reply is delivered asynchronously
 // to fn — the event-driven rendering of the thesis's synchronous call.
 // If the connection dies before the reply, fn receives an error.
-//
-// Deprecated: use Comma.GetValueOnce.
-func (c *Client) PollOnce(id ID, fn func(Value, error)) error { return c.pollOnce(id, fn) }
-
 func (c *Client) pollOnce(id ID, fn func(Value, error)) error {
 	conn, err := c.connTo(id.Server)
 	if err != nil {

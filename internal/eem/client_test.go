@@ -41,10 +41,11 @@ func TestDeadConnEvictedOnWriteError(t *testing.T) {
 		conns = append(conns, c)
 		return c, func(func([]byte)) {}, nil
 	}
-	c := eem.NewClient(dial)
+	cm := eem.NewComma(dial)
 	id := eem.ID{Server: "srv", Var: "sysUpTime"}
+	attr := eem.Attr{Lower: eem.LongValue(0), Upper: eem.LongValue(1 << 40), Op: eem.IN}
 
-	if err := c.Register(id, eem.Attr{}); err != nil {
+	if err := cm.Register(id, attr); err != nil {
 		t.Fatal(err)
 	}
 	if dials != 1 {
@@ -53,7 +54,7 @@ func TestDeadConnEvictedOnWriteError(t *testing.T) {
 
 	// The stream dies; the next write must fail ...
 	conns[0].failWrites = true
-	if err := c.Register(id, eem.Attr{}); err == nil {
+	if err := cm.Register(id, attr); err == nil {
 		t.Fatal("register on a dead conn did not error")
 	}
 	if !conns[0].closed {
@@ -61,7 +62,7 @@ func TestDeadConnEvictedOnWriteError(t *testing.T) {
 	}
 	// ... and the one after must redial rather than reuse the corpse.
 	// Pre-fix this fails: dials stays 1 and the write errors forever.
-	if err := c.Register(id, eem.Attr{}); err != nil {
+	if err := cm.Register(id, attr); err != nil {
 		t.Fatalf("register after eviction: %v (conn not evicted?)", err)
 	}
 	if dials != 2 {
@@ -78,12 +79,12 @@ func TestDisconnectFailsPendingPolls(t *testing.T) {
 		cur = &fakeConn{}
 		return cur, func(func([]byte)) {}, nil
 	}
-	c := eem.NewClient(dial)
+	cm := eem.NewComma(dial)
 	id := eem.ID{Server: "srv", Var: "ifInOctets"}
 
 	var pollErr error
 	called := false
-	if err := c.PollOnce(id, func(_ eem.Value, err error) { called = true; pollErr = err }); err != nil {
+	if err := cm.GetValueOnce(id, func(_ eem.Value, err error) { called = true; pollErr = err }); err != nil {
 		t.Fatal(err)
 	}
 	if called {
@@ -91,7 +92,7 @@ func TestDisconnectFailsPendingPolls(t *testing.T) {
 	}
 	// The conn dies, detected by the next write.
 	cur.failWrites = true
-	if err := c.Register(id, eem.Attr{}); err == nil {
+	if err := cm.Register(id, eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE}); err == nil {
 		t.Fatal("register on dead conn did not error")
 	}
 	if !called {
@@ -110,17 +111,18 @@ func TestStaleTracksDisconnect(t *testing.T) {
 		cur = &fakeConn{}
 		return cur, func(func([]byte)) {}, nil
 	}
-	c := eem.NewClient(dial)
+	cm := eem.NewComma(dial)
 	id := eem.ID{Server: "srv", Var: "sysUpTime"}
-	if err := c.Register(id, eem.Attr{}); err != nil {
+	attr := eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE}
+	if err := cm.Register(id, attr); err != nil {
 		t.Fatal(err)
 	}
-	if c.Stale(id) {
+	if cm.Stale(id) {
 		t.Fatal("fresh registration already stale")
 	}
 	cur.failWrites = true
-	c.Register(id, eem.Attr{}) // write fails, conn evicted
-	if !c.Stale(id) {
+	cm.Register(id, attr) // write fails, conn evicted
+	if !cm.Stale(id) {
 		t.Fatal("entry not stale after its server's conn died")
 	}
 }

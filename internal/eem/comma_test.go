@@ -22,49 +22,40 @@ func capDialer() (eem.Dialer, *capConn) {
 }
 
 // TestCommaRegisterDefaultsToPDASilent is the regression test for the
-// facade's central contract: Register with no mode option produces the
-// same wire registration the legacy Client sent with Interrupt unset —
-// the server updates the protected data area silently and no interrupt
-// traffic is requested. WithCallback must match the legacy
-// Interrupt:true registration byte for byte.
+// facade's central contract: Register with no mode option emits a
+// silent (Interrupt unset) wire registration — the server updates the
+// protected data area and no interrupt traffic is requested — while
+// WithCallback flips exactly the Interrupt flag. The expected lines
+// are the literal bytes the legacy Client wrappers emitted before
+// their removal, so the wire protocol stays pinned across the facade
+// migration.
 func TestCommaRegisterDefaultsToPDASilent(t *testing.T) {
 	id := eem.ID{Server: "srv", Var: "sysUpTime"}
 	attr := eem.Attr{Lower: eem.LongValue(0), Op: eem.GTE}
+	const silentWire = `{"kind":"register","id":{"var":"sysUpTime","server":"srv"},` +
+		`"attr":{"lower":{"kind":0},"upper":{"kind":0},"op":1},"value":{"kind":0}}` + "\n"
+	const interruptWire = `{"kind":"register","id":{"var":"sysUpTime","server":"srv"},` +
+		`"attr":{"lower":{"kind":0},"upper":{"kind":0},"op":1,"interrupt":true},"value":{"kind":0}}` + "\n"
 
 	newDial, newConn := capDialer()
 	cm := eem.NewComma(newDial)
 	if err := cm.Register(id, attr); err != nil {
 		t.Fatal(err)
 	}
-	oldDial, oldConn := capDialer()
-	legacy := eem.NewClient(oldDial)
-	if err := legacy.Register(id, attr); err != nil {
-		t.Fatal(err)
-	}
-	if len(newConn.lines) != 1 || len(oldConn.lines) != 1 || newConn.lines[0] != oldConn.lines[0] {
-		t.Fatalf("default Comma registration diverges from legacy silent registration:\n new %q\n old %q",
-			newConn.lines, oldConn.lines)
+	if len(newConn.lines) != 1 || newConn.lines[0] != silentWire {
+		t.Fatalf("default Comma registration diverges from the pinned silent wire bytes:\n got %q\nwant %q",
+			newConn.lines, silentWire)
 	}
 
-	// WithCallback == legacy Interrupt:true.
+	// WithCallback == Interrupt:true on the wire.
 	cbDial, cbConn := capDialer()
 	cmCb := eem.NewComma(cbDial)
 	if err := cmCb.Register(id, attr, eem.WithCallback(func(eem.ID, eem.Value) {})); err != nil {
 		t.Fatal(err)
 	}
-	intDial, intConn := capDialer()
-	legacyInt := eem.NewClient(intDial)
-	irq := attr
-	irq.Interrupt = true
-	if err := legacyInt.Register(id, irq); err != nil {
-		t.Fatal(err)
-	}
-	if len(cbConn.lines) != 1 || cbConn.lines[0] != intConn.lines[0] {
-		t.Fatalf("WithCallback registration diverges from legacy interrupt registration:\n new %q\n old %q",
-			cbConn.lines, intConn.lines)
-	}
-	if newConn.lines[0] == cbConn.lines[0] {
-		t.Fatal("silent and interrupt registrations are wire-identical — Interrupt flag lost")
+	if len(cbConn.lines) != 1 || cbConn.lines[0] != interruptWire {
+		t.Fatalf("WithCallback registration diverges from the pinned interrupt wire bytes:\n got %q\nwant %q",
+			cbConn.lines, interruptWire)
 	}
 }
 

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlowsDeterminism is the flow-analytics gate: two in-process runs
+// of the flow-log scenario with the same seed must produce
+// byte-identical output — transfer legs, flow aggregates, the rendered
+// flows table, policy transitions, event log, metrics, everything —
+// and that output must show the rule firing on flow.retrans_ratio and
+// reverting after recovery.
+func TestFlowsDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := FlowsDemo(42, &a); err != nil {
+		t.Fatalf("run 1: %v\n%s", err, a.String())
+	}
+	if err := FlowsDemo(42, &b); err != nil {
+		t.Fatalf("run 2: %v\n%s", err, b.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		la, lb := strings.Split(a.String(), "\n"), strings.Split(b.String(), "\n")
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if la[i] != lb[i] {
+				t.Fatalf("outputs diverge at line %d:\n run1: %s\n run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("outputs differ in length: %d vs %d bytes", a.Len(), b.Len())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"policy\tfire\tshed", "policy\trevert\tshed",
+		"flow.retrans_ratio", "=== flows (after lossy leg) ===",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flow analytics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package flowlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Render formats a merged record set as the deterministic columnar
+// table the "flows [n]" command prints: active flows first, then the
+// n most recently closed. The sort key (Opened, Last, key string) is
+// total over any real traffic script — virtual open times break most
+// ties, the key string the rest — so every shard layout of the same
+// traffic renders the same bytes. Both the single-proxy control port
+// and the merged data-plane command call this one function, which is
+// what makes the N-shard output byte-equal to the inline one.
+func Render(recs []Record, n int) string {
+	if n <= 0 {
+		n = DefaultShow
+	}
+	var active, closed []Record
+	for _, r := range recs {
+		if r.State == StateActive {
+			active = append(active, r)
+		} else {
+			closed = append(closed, r)
+		}
+	}
+	byAge := func(s []Record) func(i, j int) bool {
+		return func(i, j int) bool {
+			a, b := s[i], s[j]
+			if a.Opened != b.Opened {
+				return a.Opened < b.Opened
+			}
+			if a.Last != b.Last {
+				return a.Last < b.Last
+			}
+			return a.Key.String() < b.Key.String()
+		}
+	}
+	sort.Slice(active, byAge(active))
+	sort.Slice(closed, byAge(closed))
+
+	showA := active
+	if len(showA) > n {
+		showA = showA[:n]
+	}
+	showC := closed
+	if len(showC) > n {
+		showC = showC[len(showC)-n:] // most recently closed
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "flows: %d active, %d closed retained (showing %d + %d)\n",
+		len(active), len(closed), len(showA), len(showC))
+	tbl := trace.NewTable("",
+		"flow", "state", "score",
+		"tx_pkts", "tx_bytes", "rx_pkts", "rx_bytes", "payload",
+		"syn", "synack", "retx", "zwin", "srtt_ms")
+	for _, r := range append(showA, showC...) {
+		srtt := "-"
+		if r.SRTTMicros > 0 {
+			srtt = fmt.Sprintf("%.2f", float64(r.SRTTMicros)/1000)
+		}
+		tbl.AddRow(
+			r.Key.String(), r.State, int64(r.Score),
+			r.Init.Pkts, r.Init.Bytes, r.Resp.Pkts, r.Resp.Bytes,
+			r.Init.Payload+r.Resp.Payload,
+			r.Init.Syn+r.Resp.Syn,
+			r.Init.SynAck+r.Resp.SynAck,
+			fmt.Sprintf("%d/%d", r.Init.Retrans, r.Resp.Retrans),
+			fmt.Sprintf("%d/%d", r.Init.ZeroWin, r.Resp.ZeroWin),
+			srtt,
+		)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

@@ -148,6 +148,60 @@ func TestInterceptTCPFilterZeroAlloc(t *testing.T) {
 	}
 }
 
+// mkTCPRev builds the reverse-direction (mobile→wired) ACK for the
+// benchmark stream, acknowledging up to ack.
+func mkTCPRev(tb testing.TB, seq, ack uint32) []byte {
+	tb.Helper()
+	seg := tcp.Segment{SrcPort: 5001, DstPort: 7, Seq: seq, Ack: ack,
+		Flags: tcp.FlagACK, Window: 65535}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP, Src: core.MobileAddr, Dst: core.WiredAddr}
+	raw, err := h.Marshal(seg.Marshal(core.MobileAddr, core.WiredAddr))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// TestInterceptFlowLogZeroAlloc gates the flow-log analytics plane on
+// the serviced intercept path: bidirectional traffic of one
+// established flow — advancing data segments that each arm an RTT
+// probe, and the ACKs that resolve them — must not allocate. The
+// packets are prebuilt in two distinct cycles so AllocsPerRun's
+// warm-up invocation consumes the first (opening the flow and growing
+// the table) and the measured invocation runs entirely on the
+// advancing-frontier/new-data branches, not the retransmission path.
+func TestInterceptFlowLogZeroAlloc(t *testing.T) {
+	sys := core.NewSystem(core.Config{Seed: 17})
+	sys.MustCommand("load tcp")
+	sys.MustCommand("add tcp " + benchKey())
+	hook := sys.ProxyHost.PacketHook()
+	in := sys.ProxyHost.Ifaces()[0]
+
+	const perCycle = 512
+	cycles := make([][][]byte, 2)
+	seq := uint32(1)
+	for c := range cycles {
+		for i := 0; i < perCycle; i++ {
+			cycles[c] = append(cycles[c], mkTCP(t, seq, 100))
+			seq += 100
+			cycles[c] = append(cycles[c], mkTCPRev(t, 1, seq))
+		}
+	}
+	cycle := 0
+	if allocs := testing.AllocsPerRun(1, func() {
+		for _, raw := range cycles[cycle%len(cycles)] {
+			hook(raw, in)
+		}
+		cycle++
+	}); allocs != 0 {
+		t.Fatalf("flow-logged intercept allocates %.0f times per cycle, want 0", allocs)
+	}
+	fs := sys.Proxy.FlowStats()
+	if fs.Active != 1 || fs.RTTSamples == 0 {
+		t.Fatalf("flow log missed the stream: active=%d rtt_samples=%d", fs.Active, fs.RTTSamples)
+	}
+}
+
 // TestPacketParseReleaseZeroAlloc gates the pooled codec on its own,
 // so a pool regression is attributed to Parse rather than the proxy.
 func TestPacketParseReleaseZeroAlloc(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cmdspec"
 	"repro/internal/filter"
+	"repro/internal/flowlog"
 	"repro/internal/ip"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -179,6 +180,18 @@ var execHandlers = map[string]func(p *Proxy, rest []string) string{
 			}
 		}
 		return p.obs.Tail(n)
+	},
+	// flows: per-flow L4 records from the flow-log analytics plane
+	// (default display bound flowlog.DefaultShow).
+	"flows": func(p *Proxy, rest []string) string {
+		n := flowlog.DefaultShow
+		if len(rest) > 0 {
+			if _, err := fmt.Sscanf(rest[0], "%d", &n); err != nil {
+				spec, _ := cmdspec.Lookup("flows")
+				return spec.UsageError()
+			}
+		}
+		return flowlog.Render(p.AppendFlowRecords(nil), n)
 	},
 	"help": func(p *Proxy, rest []string) string {
 		return cmdspec.HelpLine()

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/classifier"
 	"repro/internal/filter"
+	"repro/internal/flowlog"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -128,6 +129,10 @@ type Proxy struct {
 
 	// Stats counts proxy-level events.
 	Stats Stats
+
+	// flows is the per-shard flow-log accumulator: every parsed TCP
+	// segment folds into its flow record on the interception path.
+	flows *flowlog.Table
 }
 
 // Stats counts packets through the interception module. The counters
@@ -207,6 +212,7 @@ func NewDetached(node *netsim.Node, catalog *filter.Catalog) *Proxy {
 		pool:    make(map[string]filter.Factory),
 		queues:  make(map[filter.Key]*queue),
 		prog:    classifier.Compile(nil),
+		flows:   flowlog.New(func() sim.Time { return node.Clock().Now() }, flowlog.Config{}),
 	}
 }
 
@@ -235,6 +241,26 @@ func (p *Proxy) RegisterMetrics(r *obs.Registry, prefix string) {
 	r.Counter(prefix+".registry_rebuilds", func() int64 { return p.Stats.RegistryRebuilds.Load() })
 	r.Gauge(prefix+".streams", func() float64 { return float64(p.QueueCount()) })
 	r.Gauge(prefix+".registrations", func() float64 { return float64(p.RegistrationCount()) })
+	fs := p.flows.Stats()
+	r.Gauge(prefix+".flow.active", func() float64 { return float64(fs.Active.Load()) })
+	r.Counter(prefix+".flow.opened", func() int64 { return fs.Opened.Load() })
+	r.Counter(prefix+".flow.closed", func() int64 { return fs.Closed.Load() })
+	r.Counter(prefix+".flow.evicted", func() int64 { return fs.Evicted.Load() })
+	r.Counter(prefix+".flow.retrans", func() int64 { return fs.Retrans.Load() })
+	r.Counter(prefix+".flow.zero_win", func() int64 { return fs.ZeroWin.Load() })
+}
+
+// FlowLog exposes the proxy's flow-log accumulator (owning-goroutine
+// access rules apply to Record/AppendRecords; Stats are atomics).
+func (p *Proxy) FlowLog() *flowlog.Table { return p.flows }
+
+// FlowStats snapshots the flow-log counters. Safe from any goroutine.
+func (p *Proxy) FlowStats() flowlog.StatsSnapshot { return p.flows.Stats().Snapshot() }
+
+// AppendFlowRecords appends this proxy's flow records (active +
+// retained closed) to dst. Owning-goroutine only.
+func (p *Proxy) AppendFlowRecords(dst []flowlog.Record) []flowlog.Record {
+	return p.flows.AppendRecords(dst)
 }
 
 // QueueCount returns the number of live filter queues (streams). Safe
@@ -410,6 +436,9 @@ func (p *Proxy) interceptInto(raw []byte, in *netsim.Iface, dst [][]byte) [][]by
 	}
 	if p.obs.PacketsTraced() {
 		p.obs.EmitPacket("proxy", "intercept", pkt.Key.String(), raw)
+	}
+	if pkt.TCP != nil {
+		p.flows.Record(pkt.Key, pkt.TCP, len(raw))
 	}
 	q := p.queues[pkt.Key]
 	if q == nil {
