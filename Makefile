@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate bench-registry bench-registry-gate obs-determinism chaos adapt flows-determinism verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate bench-registry bench-registry-gate obs-determinism chaos adapt flows-determinism migrate-determinism verify
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test ./internal/filter -fuzz FuzzSteerKey -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dataplane -fuzz FuzzSteer -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/classifier -fuzz FuzzClassifierParity -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/migrate -fuzz FuzzMigrationSnapshotDecode -fuzztime $(FUZZTIME)
 
 # Hot-path micro-benchmarks, benchstat-ready (10 samples each).
 bench:
@@ -167,5 +168,21 @@ flows-determinism:
 	@$(GO) run ./cmd/wsim -flows -seed 17 > /tmp/flows-run2.txt
 	@cmp /tmp/flows-run1.txt /tmp/flows-run2.txt && echo "flows-determinism: OK"
 
-verify: build test vet fmt-check obs-determinism chaos adapt flows-determinism
+# Stream-migration gate: the migration codec/protocol packages and the
+# snapshot round-trip tests under the race detector, then two separate
+# processes running the migration scenario with the same seed whose
+# full outputs (per-leg outcomes across the fault matrix, migration
+# events, metrics) must be byte-identical. The scenario itself asserts
+# the ownership invariant — every attempt ends completed on the
+# destination XOR resumed on the source — plus payload integrity and
+# TTSF state continuity on every leg.
+migrate-determinism:
+	$(GO) test -race -count=1 ./internal/migrate
+	$(GO) test -race -count=1 -run 'TestTTSFSnapshot|TestWSizeCapSnapshot|TestZWSMNotSnapshottable' ./internal/filters
+	$(GO) test -race -count=1 -run 'TestExportImport|TestImportQueueCounters|TestMigrate' ./internal/proxy ./internal/experiments
+	@$(GO) run ./cmd/wsim -migrate -seed 23 > /tmp/migrate-run1.txt
+	@$(GO) run ./cmd/wsim -migrate -seed 23 > /tmp/migrate-run2.txt
+	@cmp /tmp/migrate-run1.txt /tmp/migrate-run2.txt && echo "migrate-determinism: OK"
+
+verify: build test vet fmt-check obs-determinism chaos adapt flows-determinism migrate-determinism
 	@echo "verify: OK"

@@ -17,6 +17,9 @@
 //	wsim -flows            run the flow-log analytics scenario (per-flow
 //	                       L4 records drive a policy rule on the fleet
 //	                       retrans ratio; byte-identical per seed)
+//	wsim -migrate          run the live stream-migration scenario (proxy-
+//	                       to-proxy handoff under a fault matrix;
+//	                       byte-identical per seed)
 package main
 
 import (
@@ -36,7 +39,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the chaos soak scenario (fault injection)")
 	adapt := flag.Bool("adapt", false, "run the adaptive-services scenario (policy engine)")
 	flows := flag.Bool("flows", false, "run the flow-log analytics scenario (per-flow records feed the policy loop)")
-	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos/-adapt/-flows")
+	migrateFlag := flag.Bool("migrate", false, "run the live stream-migration scenario (crash-safe proxy-to-proxy handoff)")
+	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos/-adapt/-flows/-migrate")
 	flag.Parse()
 
 	switch {
@@ -68,6 +72,11 @@ func main() {
 		}
 	case *flows:
 		if err := experiments.FlowsDemo(*seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *migrateFlag:
+		if err := experiments.MigrateDemo(*seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -116,6 +116,9 @@ var Specs = []Spec{
 	{Name: "policy", Args: "list|add <rule>|del <name>|trace [n]",
 		Help:    "inspect and mutate adaptive policy rules",
 		MinArgs: 1, MaxArgs: -1, Mutating: true, Kati: true, Ext: true, Route: RouteShard0},
+	{Name: "migrate", Args: "<srcIP> <srcPort> <dstIP> <dstPort> <peerIP>",
+		Help:    "hand the keyed stream (and its filter state) to the peer SP",
+		MinArgs: 5, MaxArgs: 5, Mutating: true, Kati: true, Ext: true, Route: RouteShard0},
 }
 
 // index maps names to table entries.

@@ -39,7 +39,8 @@ func TestKatiHelpGolden(t *testing.T) {
 		"  events [n]                             tail of the observability event log\n" +
 		"  flows [n]                              per-flow L4 records (active + recently closed)\n" +
 		"  auth <token>                           authenticate a guarded proxy\n" +
-		"  policy list|add <rule>|del <name>|trace [n] inspect and mutate adaptive policy rules\n"
+		"  policy list|add <rule>|del <name>|trace [n] inspect and mutate adaptive policy rules\n" +
+		"  migrate <srcIP> <srcPort> <dstIP> <dstPort> <peerIP> hand the keyed stream (and its filter state) to the peer SP\n"
 	if got := KatiHelp(); got != want {
 		t.Fatalf("KatiHelp():\n got %q\nwant %q", got, want)
 	}
@@ -48,7 +49,7 @@ func TestKatiHelpGolden(t *testing.T) {
 func TestLookupAndFlags(t *testing.T) {
 	for _, name := range []string{"load", "remove", "add", "delete", "report",
 		"streams", "filters", "service", "unservice", "services", "stats",
-		"events", "flows", "auth", "help", "policy"} {
+		"events", "flows", "auth", "help", "policy", "migrate"} {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("Lookup(%q) missing", name)
 		}
@@ -56,7 +57,7 @@ func TestLookupAndFlags(t *testing.T) {
 	if _, ok := Lookup("bogus"); ok {
 		t.Errorf("Lookup(bogus) unexpectedly present")
 	}
-	for _, name := range []string{"load", "remove", "add", "delete", "service", "unservice", "policy"} {
+	for _, name := range []string{"load", "remove", "add", "delete", "service", "unservice", "policy", "migrate"} {
 		if !Mutating(name) {
 			t.Errorf("Mutating(%q) = false, want true", name)
 		}
@@ -70,8 +71,8 @@ func TestLookupAndFlags(t *testing.T) {
 	if KatiForwards("help") || KatiForwards("bogus") {
 		t.Errorf("KatiForwards should exclude help and unknown names")
 	}
-	if !KatiForwards("load") || !KatiForwards("policy") {
-		t.Errorf("KatiForwards should include load and policy")
+	if !KatiForwards("load") || !KatiForwards("policy") || !KatiForwards("migrate") {
+		t.Errorf("KatiForwards should include load, policy, and migrate")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/filters"
 	"repro/internal/ip"
+	"repro/internal/migrate"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -71,6 +72,11 @@ type Config struct {
 	// against the A-side data plane (thesis ch. 7: the control loop
 	// that loads services in response to EEM conditions).
 	Policy PolicyConfig
+	// Migration arms live stream migration between the two service
+	// proxies: a migration manager on each proxy host speaks the
+	// two-phase transfer protocol on migrate.Port and the "migrate"
+	// command appears on both SPs. Requires DoubleProxy.
+	Migration bool
 }
 
 // PolicyConfig configures the optional adaptive policy engine.
@@ -114,6 +120,11 @@ type System struct {
 
 	// Policy is the adaptive engine; nil unless Config.Policy has rules.
 	Policy *policy.Engine
+
+	// Migrate and MigrateB are the per-SP migration managers; nil
+	// unless Config.Migration.
+	Migrate  *migrate.Manager
+	MigrateB *migrate.Manager
 }
 
 // NewSystem builds and starts a Comma deployment.
@@ -239,6 +250,41 @@ func NewSystem(cfg Config) *System {
 		panic(fmt.Sprintf("core: eem port: %v", err))
 	}
 	sys.EEM.StartSimTicker(s)
+
+	if cfg.Migration {
+		if !cfg.DoubleProxy {
+			panic("core: Migration requires DoubleProxy")
+		}
+		// The A-side proxy has no route to B's wireless address (only
+		// keyed routes toward the mobile); the migration control
+		// connection needs one. B's default route covers the way back.
+		sys.ProxyHost.AddRoute(ip.MustParseAddr("11.11.11.2").Mask(32), 32, sys.Wireless.IfaceA())
+		// B gets its own control stack: until now nothing terminated
+		// TCP on the far proxy host.
+		ctrlB := tcp.NewStack(sys.ProxyHostB, cfg.TCP)
+		sys.ProxyHostB.RegisterProto(ip.ProtoTCP, func(h ip.Header, p, raw []byte, in *netsim.Iface) {
+			ctrlB.Deliver(h.Src, h.Dst, p)
+		})
+		ctrlB.RegisterMetrics(sys.Metrics, "tcp.proxyctrlB")
+		sys.Migrate = migrate.NewManager(migrate.Config{
+			Name: "migrate", ID: 1, Sched: s,
+			Plane: sys.Plane, Stack: ctrl, Bus: sys.Obs,
+		})
+		sys.MigrateB = migrate.NewManager(migrate.Config{
+			Name: "migrateB", ID: 2, Sched: s,
+			Plane: sys.PlaneB, Stack: ctrlB, Bus: sys.Obs,
+		})
+		if err := sys.Migrate.Serve(); err != nil {
+			panic(fmt.Sprintf("core: migrate port: %v", err))
+		}
+		if err := sys.MigrateB.Serve(); err != nil {
+			panic(fmt.Sprintf("core: migrate port (B): %v", err))
+		}
+		sys.Migrate.RegisterMetrics(sys.Metrics, "migrate")
+		sys.MigrateB.RegisterMetrics(sys.Metrics, "migrateB")
+		sys.Plane.RegisterCommand("migrate", sys.Migrate.Command)
+		sys.PlaneB.RegisterCommand("migrate", sys.MigrateB.Command)
+	}
 
 	if cfg.WithUser {
 		sys.User = n.AddNode("user")

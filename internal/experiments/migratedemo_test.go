@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// TestMigrateDeterminism is the migration gate: two in-process runs of
+// the stream-migration scenario with the same seed must produce
+// byte-identical output — leg outcomes, migration events (including the
+// injected faults and the retries they provoke), and the metrics
+// snapshot. The scenario itself asserts the ownership invariant on
+// every leg; this test asserts the whole fault matrix replays exactly.
+func TestMigrateDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := MigrateDemo(23, &a); err != nil {
+		t.Fatalf("run 1: %v\n%s", err, a.String())
+	}
+	if err := MigrateDemo(23, &b); err != nil {
+		t.Fatalf("run 2: %v\n%s", err, b.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		la, lb := strings.Split(a.String(), "\n"), strings.Split(b.String(), "\n")
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if la[i] != lb[i] {
+				t.Fatalf("outputs diverge at line %d:\n run1: %s\n run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("outputs differ in length: %d vs %d bytes", a.Len(), b.Len())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"leg clean", "leg corrupt-offer", "leg crash-post-commit", "leg round-trip",
+		"outcomes account for every attempt",
+		"migrate.attempts", "migrate.completed", "migrate.resumed", "migrate.aborted", "migrate.bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("migration output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// migrateOnce runs one clean A→B migration on a system with the given
+// shard count and returns the migrate.* metric samples afterwards.
+func migrateOnce(t *testing.T, shards int) []obs.Sample {
+	t.Helper()
+	sys := core.NewSystem(core.Config{
+		Seed:        5,
+		DoubleProxy: true,
+		Migration:   true,
+		Shards:      shards,
+		Wireless:    netsim.LinkConfig{Bandwidth: 2e6, Delay: 10 * time.Millisecond},
+	})
+	const srcPort, dstPort = 7000, 8000
+	keyStr := fmt.Sprintf("11.11.10.99 %d 11.11.10.10 %d", srcPort, dstPort)
+	for _, c := range []string{
+		"load tcp", "load ttsf",
+		"add tcp " + keyStr, "add ttsf " + keyStr,
+	} {
+		sys.MustCommand(c)
+	}
+	var cmdOut string
+	sys.Sched.After(300*time.Millisecond, func() {
+		cmdOut = sys.Plane.Command("migrate " + keyStr + " 11.11.11.2")
+	})
+	res, err := sys.Transfer(repeatText(128_000), srcPort, dstPort, 30*time.Second)
+	if err != nil || !res.Completed {
+		t.Fatalf("shards=%d: transfer failed: err=%v completed=%v", shards, err, res.Completed)
+	}
+	if !strings.HasPrefix(cmdOut, "migrating") {
+		t.Fatalf("shards=%d: migrate command answered %q", shards, cmdOut)
+	}
+	a, c, r, ab := sys.Migrate.Counters()
+	if a != 1 || c != 1 || r != 0 || ab != 0 {
+		t.Fatalf("shards=%d: outcome attempts=%d completed=%d resumed=%d aborted=%d, want one clean completion",
+			shards, a, c, r, ab)
+	}
+	var out []obs.Sample
+	for _, s := range sys.Metrics.Snapshot() {
+		if strings.HasPrefix(s.Name, "migrate") {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestMigrateMetricsAcrossShards pins the migration counters to the
+// unified metrics registry regardless of data-plane sharding: the same
+// clean migration on a 1-shard and a 4-shard plane must publish
+// identical migrate.* samples (one attempt, one completion, same
+// snapshot byte count) — sharding changes where streams live, not what
+// the migration plane reports.
+func TestMigrateMetricsAcrossShards(t *testing.T) {
+	one := migrateOnce(t, 1)
+	four := migrateOnce(t, 4)
+	if len(one) == 0 {
+		t.Fatal("no migrate.* metrics registered")
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("migrate metrics diverge across shard counts:\n 1 shard: %+v\n 4 shards: %+v", one, four)
+	}
+	want := map[string]string{
+		"migrate.attempts": "1", "migrate.completed": "1",
+		"migrate.resumed": "0", "migrate.aborted": "0",
+	}
+	for _, s := range one {
+		if v, ok := want[s.Name]; ok && s.Value != v {
+			t.Fatalf("metric %s = %s, want %s", s.Name, s.Value, v)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/dataplane"
 	"repro/internal/eem"
+	"repro/internal/migrate"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -103,6 +104,40 @@ func (in *Injector) CrashEEM(name string, srv *eem.Server, at, outage time.Durat
 	in.sched.After(at+outage, func() {
 		srv.Restart()
 		in.emit("eem-restart", name)
+	})
+}
+
+// ArmMigrationFault arms a one-shot fault point inside a migration
+// manager at now+at: "drop-offer" and "corrupt-offer" attack the
+// snapshot in flight, "crash-pre-commit" and "crash-post-commit" kill
+// the source manager on either side of its ack boundary. The migration
+// protocol's ownership invariant — each attempt ends completed on the
+// destination or resumed on the source, never both, never neither —
+// must hold through any of them.
+func (in *Injector) ArmMigrationFault(name string, m *migrate.Manager, at time.Duration, point string) {
+	in.sched.After(at, func() {
+		m.ArmFault(point)
+		in.emit("migrate-arm", name, obs.F("point", point))
+	})
+}
+
+// CrashMigration kills a migration manager at now+at: connections
+// reset, volatile protocol state lost, durable journal kept. Restart
+// it with RestartMigration to exercise journal recovery.
+func (in *Injector) CrashMigration(name string, m *migrate.Manager, at time.Duration) {
+	in.sched.After(at, func() {
+		m.Crash()
+		in.emit("migrate-crash", name)
+	})
+}
+
+// RestartMigration restarts a crashed migration manager at now+at; the
+// manager replays its journal (resume uncommitted transfers, re-drive
+// committed ones).
+func (in *Injector) RestartMigration(name string, m *migrate.Manager, at time.Duration) {
+	in.sched.After(at, func() {
+		m.Restart()
+		in.emit("migrate-restart", name)
 	})
 }
 

@@ -345,6 +345,24 @@ type Hooks struct {
 	// OnClose is called when the stream's queue is torn down or the
 	// filter is deleted from the key.
 	OnClose func()
+	// State, when non-nil, lets the proxy serialize this instance's
+	// per-stream state for live migration to a peer SP. Attachments
+	// without it migrate as fresh instances (fail open).
+	State StateSnapshotter
+}
+
+// StateSnapshotter is the optional migration contract of a filter
+// instance: SnapshotState serializes the per-stream state behind one
+// attachment into an opaque, self-contained byte string, and
+// RestoreState rehydrates a freshly instantiated instance on the
+// destination proxy from exactly those bytes. Snapshots are taken at a
+// data-plane batch boundary (the stream is quiescent on this shard),
+// so implementations serialize plain fields — no locking, no pending
+// in-flight packet views. A filter that cannot (or need not) carry
+// state across a migration simply leaves Hooks.State nil.
+type StateSnapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState(b []byte) error
 }
 
 // Env is the service the proxy provides to filter instances: queue

@@ -1,0 +1,98 @@
+package filters
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// errStateTruncated marks a filter state snapshot that ends before the
+// fields it declares — the decoder never reads past the buffer and
+// never panics on short input.
+var errStateTruncated = errors.New("filters: truncated state snapshot")
+
+// stateWriter appends big-endian fields to a snapshot buffer.
+type stateWriter struct{ b []byte }
+
+func (w *stateWriter) u8(v byte)    { w.b = append(w.b, v) }
+func (w *stateWriter) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *stateWriter) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *stateWriter) i64(v int64)  { w.b = binary.BigEndian.AppendUint64(w.b, uint64(v)) }
+func (w *stateWriter) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+
+// stateReader consumes the fields of a snapshot with bounds checking:
+// the first short read latches err and every later read returns zero
+// values, so decoders can parse straight-line and check err once.
+type stateReader struct {
+	b   []byte
+	err error
+}
+
+func (r *stateReader) take(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.err = errStateTruncated
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *stateReader) u8() byte {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (r *stateReader) u16() uint16 {
+	v := r.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(v)
+}
+
+func (r *stateReader) u32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+func (r *stateReader) i64() int64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(v))
+}
+
+// bytes reads a u32 length-prefixed byte string. The declared length is
+// validated against the remaining buffer before any copy, so a lying
+// prefix cannot force an over-allocation.
+func (r *stateReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || len(r.b) < n {
+		r.err = errStateTruncated
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.take(n))
+	return out
+}
+
+// done reports decode success: no field error and no trailing bytes.
+func (r *stateReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return errors.New("filters: trailing bytes in state snapshot")
+	}
+	return nil
+}

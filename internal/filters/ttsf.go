@@ -2,6 +2,7 @@ package filters
 
 import (
 	"bytes"
+	"fmt"
 
 	"repro/internal/filter"
 	"repro/internal/ip"
@@ -126,6 +127,7 @@ func (f *ttsf) New(env filter.Env, k filter.Key, args []string) error {
 			delete(ttsfInstances, k)
 			detachRev()
 		},
+		State: inst,
 	})
 	if err != nil {
 		detachRev()
@@ -134,6 +136,115 @@ func (f *ttsf) New(env filter.Env, k filter.Key, args []string) error {
 	ttsfInstances[k] = inst
 	return nil
 }
+
+// --- migration ----------------------------------------------------------------
+
+// ttsf state snapshot flag bits.
+const (
+	ttsfFlagStarted = 1 << iota
+	ttsfFlagMobileAck
+	ttsfFlagAckFwd
+	ttsfFlagTemplate
+)
+
+// SnapshotState implements filter.StateSnapshotter: it serializes the
+// full sequence-remapping state — frontier, pruned-edit base, the live
+// edit log, both ack high-waters, the ACK-synthesis template, and the
+// stats — so a peer SP can continue the remapping mid-stream. The
+// pending in-packet snapshot is deliberately excluded: snapshots are
+// taken at a batch boundary, where no packet is traversing the queue.
+func (t *ttsfInst) SnapshotState() ([]byte, error) {
+	var w stateWriter
+	var flags byte
+	if t.started {
+		flags |= ttsfFlagStarted
+	}
+	if t.haveMobileAck {
+		flags |= ttsfFlagMobileAck
+	}
+	if t.haveAckFwd {
+		flags |= ttsfFlagAckFwd
+	}
+	if t.haveTemplate {
+		flags |= ttsfFlagTemplate
+	}
+	w.u8(flags)
+	w.u32(t.frontier)
+	w.i64(t.base)
+	w.u32(t.mobileAckNew)
+	w.u32(t.maxAckFwd)
+	w.u32(t.tmplSeq)
+	w.u16(t.tmplWindow)
+	w.u32(uint32(t.tmplSrc))
+	w.u32(uint32(t.tmplDst))
+	w.i64(t.stats.Edits)
+	w.i64(t.stats.BytesIn)
+	w.i64(t.stats.BytesOut)
+	w.i64(t.stats.Reconstructed)
+	w.i64(t.stats.SynthesizedAcks)
+	w.i64(t.stats.Unreconstructable)
+	w.u32(uint32(len(t.edits)))
+	for i := range t.edits {
+		e := &t.edits[i]
+		w.u32(e.origStart)
+		w.u32(e.origLen)
+		w.bytes(e.newBytes)
+	}
+	return w.b, nil
+}
+
+// RestoreState implements filter.StateSnapshotter on a freshly
+// instantiated instance at the destination proxy.
+func (t *ttsfInst) RestoreState(b []byte) error {
+	r := stateReader{b: b}
+	flags := r.u8()
+	frontier := r.u32()
+	base := r.i64()
+	mobileAckNew := r.u32()
+	maxAckFwd := r.u32()
+	tmplSeq := r.u32()
+	tmplWindow := r.u16()
+	tmplSrc := ip.Addr(r.u32())
+	tmplDst := ip.Addr(r.u32())
+	stats := TTSFStats{
+		Edits:             r.i64(),
+		BytesIn:           r.i64(),
+		BytesOut:          r.i64(),
+		Reconstructed:     r.i64(),
+		SynthesizedAcks:   r.i64(),
+		Unreconstructable: r.i64(),
+	}
+	n := int(r.u32())
+	var edits []edit
+	for i := 0; i < n && r.err == nil; i++ {
+		edits = append(edits, edit{
+			origStart: r.u32(),
+			origLen:   r.u32(),
+			newBytes:  r.bytes(),
+		})
+	}
+	if err := r.done(); err != nil {
+		return fmt.Errorf("ttsf: restore: %w", err)
+	}
+	t.started = flags&ttsfFlagStarted != 0
+	t.haveMobileAck = flags&ttsfFlagMobileAck != 0
+	t.haveAckFwd = flags&ttsfFlagAckFwd != 0
+	t.haveTemplate = flags&ttsfFlagTemplate != 0
+	t.frontier = frontier
+	t.base = base
+	t.mobileAckNew = mobileAckNew
+	t.maxAckFwd = maxAckFwd
+	t.tmplSeq = tmplSeq
+	t.tmplWindow = tmplWindow
+	t.tmplSrc = tmplSrc
+	t.tmplDst = tmplDst
+	t.stats = stats
+	t.edits = edits
+	t.pendingValid = false
+	return nil
+}
+
+var _ filter.StateSnapshotter = (*ttsfInst)(nil)
 
 // --- mapping ------------------------------------------------------------------
 

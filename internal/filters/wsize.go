@@ -73,20 +73,47 @@ func (f *wsize) New(env filter.Env, k filter.Key, args []string) error {
 	}
 }
 
+// wsizeCapInst is one prioritization instance: the configured clamp is
+// its whole per-stream state, snapshottable for live migration.
+type wsizeCapInst struct {
+	capBytes uint16
+}
+
+func (w *wsizeCapInst) out(p *filter.Packet) {
+	if p.TCP == nil || p.TCP.Flags&tcp.FlagACK == 0 {
+		return
+	}
+	if p.TCP.Window > w.capBytes {
+		p.TCP.Window = w.capBytes
+		p.MarkDirty()
+	}
+}
+
+// SnapshotState implements filter.StateSnapshotter: the clamp as two
+// big-endian bytes.
+func (w *wsizeCapInst) SnapshotState() ([]byte, error) {
+	return []byte{byte(w.capBytes >> 8), byte(w.capBytes)}, nil
+}
+
+// RestoreState implements filter.StateSnapshotter.
+func (w *wsizeCapInst) RestoreState(b []byte) error {
+	if len(b) != 2 {
+		return fmt.Errorf("wsize: cap state needs 2 bytes, got %d", len(b))
+	}
+	w.capBytes = uint16(b[0])<<8 | uint16(b[1])
+	return nil
+}
+
+var _ filter.StateSnapshotter = (*wsizeCapInst)(nil)
+
 // newCap attaches the prioritization service: clamp the window in
 // ACKs flowing back to the keyed stream's sender.
 func (f *wsize) newCap(env filter.Env, k filter.Key, capBytes uint16) error {
+	inst := &wsizeCapInst{capBytes: capBytes}
 	_, err := env.Attach(k.Reverse(), filter.Hooks{
 		Filter: "wsize", Priority: filter.Lowest,
-		Out: func(p *filter.Packet) {
-			if p.TCP == nil || p.TCP.Flags&tcp.FlagACK == 0 {
-				return
-			}
-			if p.TCP.Window > capBytes {
-				p.TCP.Window = capBytes
-				p.MarkDirty()
-			}
-		},
+		Out:   inst.out,
+		State: inst,
 	})
 	return err
 }

@@ -1,0 +1,47 @@
+package migrate
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/proxy"
+)
+
+// FuzzMigrationSnapshotDecode drives DecodeSnapshot with arbitrary
+// bytes: it must never panic, never allocate past the input's own
+// length (a lying length prefix is the classic trap), and report only
+// the typed codec errors. Anything it does accept must re-encode
+// byte-identically — the codec is canonical, which is what makes the
+// chaos scenarios byte-reproducible.
+func FuzzMigrationSnapshotDecode(f *testing.F) {
+	valid, err := EncodeSnapshot(testExport())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-sha256.Size]) // trailer gone
+	f.Add(valid[:13])                     // mid-header
+	f.Add([]byte{})
+	f.Add([]byte("CMG1"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	empty, _ := EncodeSnapshot(&proxy.StreamExport{Key: testKey()})
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ex, err := DecodeSnapshot(data)
+		if err != nil {
+			if ex != nil {
+				t.Fatalf("error %v with non-nil export", err)
+			}
+			return
+		}
+		re, err := EncodeSnapshot(ex)
+		if err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %d in, %d out", len(data), len(re))
+		}
+	})
+}

@@ -254,6 +254,16 @@ func (fa *ForeignAgent) handleTunnel(h ip.Header, payload, raw []byte, in *netsi
 		return
 	}
 	fa.Decapsulated++
+	// If a service proxy is installed on this node, decapsulated
+	// traffic runs through its filter queues like natively-routed
+	// traffic — otherwise a stream migrated to this FA's SP would slip
+	// past its own services the moment it arrives through the tunnel.
+	if hook := fa.node.PacketHook(); hook != nil {
+		for _, out := range hook(inner, in) {
+			fa.node.InjectPacket(out)
+		}
+		return
+	}
 	fa.node.InjectPacket(inner)
 }
 
