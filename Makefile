@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate bench-registry bench-registry-gate obs-determinism chaos adapt flows-determinism migrate-determinism verify
+.PHONY: build test race vet fmt-check fuzz bench bench-shard bench-gate bench-registry bench-registry-gate bench-mmwave bench-mmwave-gate obs-determinism chaos adapt flows-determinism migrate-determinism mmwave-determinism verify
 
 build:
 	$(GO) build ./...
@@ -184,5 +184,45 @@ migrate-determinism:
 	@$(GO) run ./cmd/wsim -migrate -seed 23 > /tmp/migrate-run2.txt
 	@cmp /tmp/migrate-run1.txt /tmp/migrate-run2.txt && echo "migrate-determinism: OK"
 
-verify: build test vet fmt-check obs-determinism chaos adapt flows-determinism migrate-determinism
+# 5G mmWave gate: the link-shaping and mwin unit/property tests under
+# the race detector, then two separate processes running the mmWave
+# scenario with the same seed whose full outputs (trace table, per-leg
+# goodput/occupancy lines, shed timeline, RESULT summary) must be
+# byte-identical. The scenario itself asserts mwin keeps the proxy's
+# mmWave buffer below the baseline's and the managed pack moves data at
+# >= 1.5x the no-proxy baseline.
+mmwave-determinism:
+	$(GO) test -race -count=1 -run 'TestShape|TestShaping|TestBlockage|TestTrace|TestNLoS' ./internal/netsim
+	$(GO) test -race -count=1 -run 'TestMwin' ./internal/filters
+	$(GO) test -race -count=1 -run 'TestMMWaveDeterminism' ./internal/experiments
+	@$(GO) run ./cmd/wsim -mmwave -seed 7 > /tmp/mmwave-run1.txt
+	@$(GO) run ./cmd/wsim -mmwave -seed 7 > /tmp/mmwave-run2.txt
+	@cmp /tmp/mmwave-run1.txt /tmp/mmwave-run2.txt && echo "mmwave-determinism: OK"
+
+# 5G scenario record: run the mmWave scenario and distill its RESULT
+# line (per-leg goodput, peak mmWave queue occupancy, speedup) into
+# BENCH_mmwave.json. Virtual-time numbers — exact per seed, so the
+# record is a stable contract, not a noisy measurement.
+bench-mmwave:
+	@$(GO) run ./cmd/wsim -mmwave -seed 7 | tee /tmp/bench_mmwave.txt
+	@awk '/^RESULT mmwave / { \
+		for (i = 3; i <= NF; i++) { split($$i, kv, "="); v[kv[1]] = kv[2]; } \
+	} \
+	END { \
+		printf "{\n  \"scenario\": \"mmwave\",\n  \"seed\": 7,\n"; \
+		printf "  \"baseline_bps\": %d,\n  \"mwin_bps\": %d,\n  \"managed_bps\": %d,\n", \
+			v["baseline_bps"], v["mwin_bps"], v["managed_bps"]; \
+		printf "  \"baseline_peak\": %d,\n  \"mwin_peak\": %d,\n  \"managed_peak\": %d,\n", \
+			v["baseline_peak"], v["mwin_peak"], v["managed_peak"]; \
+		printf "  \"speedup\": %s\n}\n", v["speedup"]; \
+	}' /tmp/bench_mmwave.txt > BENCH_mmwave.json
+	@cat BENCH_mmwave.json
+
+# 5G scenario gate: fresh run checked against the scenario's own
+# acceptance bars and, when committed, the exact BENCH_mmwave.json
+# record (virtual time: same seed => same numbers, no tolerance).
+bench-mmwave-gate:
+	./scripts/bench_mmwave_gate.sh
+
+verify: build test vet fmt-check obs-determinism chaos adapt flows-determinism migrate-determinism mmwave-determinism
 	@echo "verify: OK"

@@ -20,6 +20,11 @@
 //	wsim -migrate          run the live stream-migration scenario (proxy-
 //	                       to-proxy handoff under a fault matrix;
 //	                       byte-identical per seed)
+//	wsim -mmwave           run the 5G mmWave scenario (blockage-trace
+//	                       replay on a dual mmWave+LTE topology; mwin
+//	                       window control and policy-driven leg shedding
+//	                       vs a no-proxy baseline; byte-identical per
+//	                       seed)
 package main
 
 import (
@@ -40,7 +45,8 @@ func main() {
 	adapt := flag.Bool("adapt", false, "run the adaptive-services scenario (policy engine)")
 	flows := flag.Bool("flows", false, "run the flow-log analytics scenario (per-flow records feed the policy loop)")
 	migrateFlag := flag.Bool("migrate", false, "run the live stream-migration scenario (crash-safe proxy-to-proxy handoff)")
-	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos/-adapt/-flows/-migrate")
+	mmwave := flag.Bool("mmwave", false, "run the 5G mmWave scenario (blockage-trace replay, mwin window control, LTE shedding)")
+	seed := flag.Int64("seed", 7, "simulation seed for -events/-chaos/-adapt/-flows/-migrate/-mmwave")
 	flag.Parse()
 
 	switch {
@@ -77,6 +83,11 @@ func main() {
 		}
 	case *migrateFlag:
 		if err := experiments.MigrateDemo(*seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *mmwave:
+		if err := experiments.MMWaveDemo(*seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

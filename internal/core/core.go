@@ -77,6 +77,18 @@ type Config struct {
 	// two-phase transfer protocol on migrate.Port and the "migrate"
 	// command appears on both SPs. Requires DoubleProxy.
 	Migration bool
+	// MMWave arms the 5G dual-connectivity topology: the wireless link
+	// becomes the mmWave leg and a second, steadier LTE leg (LTE config)
+	// connects proxy host and mobile in parallel. The mmWave leg is
+	// preferred while administratively up; the "mmwave shed on|off" SP
+	// command (drivable from a policy rule via the command action)
+	// switches both ends to the LTE leg and back. Mutually exclusive
+	// with DoubleProxy.
+	MMWave bool
+	// LTE shapes the LTE leg under MMWave; zero values give a
+	// 12 Mb/s, 25 ms link — an order of magnitude below a healthy
+	// mmWave leg but immune to its blockage dynamics.
+	LTE netsim.LinkConfig
 }
 
 // PolicyConfig configures the optional adaptive policy engine.
@@ -111,7 +123,9 @@ type System struct {
 	UserTCP             *tcp.Stack // nil unless WithUser
 
 	Wireless *netsim.Link
-	Catalog  *filter.Catalog
+	// LTELink is the parallel LTE leg; nil unless Config.MMWave.
+	LTELink *netsim.Link
+	Catalog *filter.Catalog
 
 	// Obs is the deployment-wide event bus; Metrics the unified
 	// counter/gauge registry (rendered by the SP "stats" command).
@@ -146,6 +160,17 @@ func NewSystem(cfg Config) *System {
 	}
 	if cfg.EEMInterval == 0 {
 		cfg.EEMInterval = eem.DefaultUpdateInterval
+	}
+	if cfg.MMWave {
+		if cfg.DoubleProxy {
+			panic("core: MMWave is mutually exclusive with DoubleProxy")
+		}
+		if cfg.LTE.Bandwidth == 0 {
+			cfg.LTE.Bandwidth = 12e6
+		}
+		if cfg.LTE.Delay == 0 {
+			cfg.LTE.Delay = 25 * time.Millisecond
+		}
 	}
 
 	s := sim.NewScheduler(cfg.Seed)
@@ -195,6 +220,20 @@ func NewSystem(cfg Config) *System {
 		sys.Wireless = wless
 		sys.ProxyHost.AddRoute(MobileAddr.Mask(32), 32, wless.IfaceA())
 		sys.Mobile.AddDefaultRoute(wless.IfaceB())
+		if cfg.MMWave {
+			// The LTE leg rides in parallel. Both ends install their LTE
+			// routes *after* the mmWave ones, so the mmWave leg wins
+			// while administratively up (first-added wins prefix ties;
+			// the proxy's implicit connected route to the mobile only
+			// matches a leg whose transmit direction is up) and routing
+			// falls back to LTE the moment the mmWave leg is shed.
+			lte := n.Connect(sys.ProxyHost, ip.MustParseAddr("11.11.13.1"),
+				sys.Mobile, ip.MustParseAddr("11.11.13.2"), cfg.LTE)
+			sys.LTELink = lte
+			sys.ProxyHost.AddRoute(MobileAddr.Mask(32), 32, lte.IfaceA())
+			sys.Mobile.AddDefaultRoute(lte.IfaceB())
+			lte.RegisterMetrics(sys.Metrics, "link.lte")
+		}
 	}
 
 	sys.Wireless.RegisterMetrics(sys.Metrics, "link.wireless")
@@ -231,6 +270,13 @@ func NewSystem(cfg Config) *System {
 	// policy rules can react to what the streams are doing (retrans
 	// ratio, zero-window rate), not just what the links report.
 	sys.EEM.AddSource(newFlowVarSource(s, sys.Plane))
+	// Per-interface link-shaping variables (link.bw, link.delivery_bps,
+	// ...), indexed by the proxy host's interface order — the blockage
+	// signal the mmWave policy rules fire on.
+	sys.EEM.AddSource(newLinkVarSource(s, sys.ProxyHost))
+	if cfg.MMWave {
+		sys.Plane.RegisterCommand("mmwave", sys.mmwaveCommand)
+	}
 	// Adaptive filters query the same variables through their Env
 	// (thesis ch. 6: filters are EEM clients too).
 	sys.Plane.SetMetricSource(func(name string, index int) (float64, bool) {

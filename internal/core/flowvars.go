@@ -16,6 +16,7 @@ var flowVarNames = []string{
 	"flow.active", "flow.opened", "flow.closed", "flow.evicted",
 	"flow.pkts", "flow.data_pkts", "flow.retrans", "flow.zero_win",
 	"flow.retrans_ratio", "flow.zero_win_rate", "flow.rtt_mean_ms",
+	"flow.rtt",
 }
 
 // flowVarSource serves flow-log aggregates to the EEM. The windowed
@@ -76,6 +77,14 @@ func (s *flowVarSource) Get(name string, index int) (eem.Value, error) {
 		return eem.DoubleValue(s.window(name, snap.ZeroWin, snap.Pkts)), nil
 	case "flow.rtt_mean_ms":
 		return eem.DoubleValue(s.window(name, snap.RTTSumMicros, snap.RTTSamples) / 1000), nil
+	case "flow.rtt":
+		// Lifetime mean RTT in milliseconds — the stable baseline a
+		// delay-aware rule compares the windowed flow.rtt_mean_ms
+		// against.
+		if snap.RTTSamples == 0 {
+			return eem.DoubleValue(0), nil
+		}
+		return eem.DoubleValue(float64(snap.RTTSumMicros) / float64(snap.RTTSamples) / 1000), nil
 	default:
 		return eem.Value{}, fmt.Errorf("%w: core: flow source has no variable %q", eem.ErrUnknownVar, name)
 	}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/eem"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// linkVarNames are the per-interface link-shaping variables the EEM
+// exports, indexed by the proxy host's interface number (the same
+// numbering the SNMP if* tables use: 0 = wire, then each leg in
+// Connect order). They read the *transmit* direction — the direction
+// the proxy pushes traffic into, which is where blockage bites.
+var linkVarNames = []string{
+	"link.bw", "link.delay_ms", "link.queue", "link.peak_queue",
+	"link.down", "link.delivery_bps",
+}
+
+// linkVarSource serves link tuning and occupancy to the EEM. link.bw
+// and link.delay_ms read the live shaping (so a Blockage or trace
+// segment shows up the moment it is applied); link.delivery_bps is a
+// windowed delivered-bits rate in the style of flowVarSource — the
+// ground-truth throughput signal a blockage rule fires on even when
+// the configured bandwidth alone cannot tell LoS from NLoS.
+type linkVarSource struct {
+	sched *sim.Scheduler
+	node  *netsim.Node
+	rates map[int]*linkRate
+}
+
+// linkRate is one interface's inter-query delivery-rate window.
+type linkRate struct {
+	lastT sim.Time
+	bytes int64
+	value float64
+}
+
+// linkVarMinWindow is the minimum width of a delivery-rate window —
+// narrower than the flow windows because blockage dwells are short and
+// the policy loop must see the collapse within a dwell or two.
+const linkVarMinWindow = 500 * time.Millisecond
+
+func newLinkVarSource(s *sim.Scheduler, n *netsim.Node) *linkVarSource {
+	return &linkVarSource{sched: s, node: n, rates: make(map[int]*linkRate)}
+}
+
+// Variables implements eem.Source.
+func (s *linkVarSource) Variables() []string { return linkVarNames }
+
+// Get implements eem.Source.
+func (s *linkVarSource) Get(name string, index int) (eem.Value, error) {
+	ifs := s.node.Ifaces()
+	if index < 0 || index >= len(ifs) || ifs[index].Link() == nil {
+		return eem.Value{}, fmt.Errorf("core: link source: no interface %d", index)
+	}
+	l := ifs[index].Link()
+	cfg, st := l.ConfigBA(), l.StatsBA()
+	queued, down := l.QueuedBA(), l.DownBA()
+	if l.IfaceA() == ifs[index] {
+		cfg, st = l.ConfigAB(), l.StatsAB()
+		queued, down = l.QueuedAB(), l.DownAB()
+	}
+	switch name {
+	case "link.bw":
+		return eem.LongValue(cfg.Bandwidth), nil
+	case "link.delay_ms":
+		return eem.DoubleValue(float64(cfg.Delay) / float64(time.Millisecond)), nil
+	case "link.queue":
+		return eem.LongValue(int64(queued)), nil
+	case "link.peak_queue":
+		return eem.LongValue(int64(st.PeakQueue)), nil
+	case "link.down":
+		if down {
+			return eem.LongValue(1), nil
+		}
+		return eem.LongValue(0), nil
+	case "link.delivery_bps":
+		return eem.DoubleValue(s.delivery(index, st.DeliveredBytes)), nil
+	default:
+		return eem.Value{}, fmt.Errorf("%w: core: link source has no variable %q", eem.ErrUnknownVar, name)
+	}
+}
+
+// delivery returns the delivered-bits-per-second rate over the last
+// completed window (0 for the first; the cached value while the
+// current window is open, so interleaved readers see one series).
+func (s *linkVarSource) delivery(index int, bytes int64) float64 {
+	now := s.sched.Now()
+	r := s.rates[index]
+	if r == nil {
+		s.rates[index] = &linkRate{lastT: now, bytes: bytes}
+		return 0
+	}
+	dt := now.Sub(r.lastT)
+	if dt < linkVarMinWindow {
+		return r.value
+	}
+	r.value = float64(bytes-r.bytes) * 8 / dt.Seconds()
+	r.lastT, r.bytes = now, bytes
+	return r.value
+}
+
+var _ eem.Source = (*linkVarSource)(nil)

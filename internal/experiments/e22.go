@@ -92,9 +92,9 @@ func runE22(w io.Writer) {
 		sys.Sched.After(0, tick)
 
 		sys.Sched.RunFor(8 * time.Second)
-		sys.Wireless.SetBandwidth(600e3)
+		sys.Wireless.Shape(netsim.DirBoth, netsim.Shaping{Fields: netsim.ShapeBandwidth, Bandwidth: 600e3})
 		sys.Sched.RunFor(8 * time.Second)
-		sys.Wireless.SetBandwidth(4e6)
+		sys.Wireless.Shape(netsim.DirBoth, netsim.Shaping{Fields: netsim.ShapeBandwidth, Bandwidth: 4e6})
 		sys.Sched.RunFor(9 * time.Second)
 
 		mode := "no service"

@@ -72,22 +72,51 @@ func (in *Injector) PartitionAB(name string, l *netsim.Link, at, outage time.Dur
 	})
 }
 
-// DegradeLink drops the link to bps bandwidth under the given loss
-// model at now+at, restoring the previous bandwidth and loss model
-// after dur. The previous values are captured when the degradation
-// fires, so a degrade scheduled over an already-degraded link restores
-// to what it found.
+// DegradeLink drops both directions of the link to bps bandwidth
+// under the given loss model at now+at, restoring each direction's
+// previous bandwidth and loss model after dur. The previous values are
+// captured per direction when the degradation fires, so a degrade
+// scheduled over an already-degraded (or asymmetrically shaped) link
+// restores exactly what it found.
 func (in *Injector) DegradeLink(name string, l *netsim.Link, at, dur time.Duration, bps int64, loss netsim.LossModel) {
 	in.sched.After(at, func() {
-		prev := l.ConfigAB()
-		l.SetBandwidth(bps)
-		l.SetLoss(loss)
+		prevAB, prevBA := l.ShapingAB(), l.ShapingBA()
+		degraded := netsim.Shaping{
+			Fields: netsim.ShapeBandwidth | netsim.ShapeLoss, Bandwidth: bps, Loss: loss,
+		}
+		l.Shape(netsim.DirBoth, degraded)
 		in.emit("link-degrade", name,
 			obs.F("bps", bps), obs.F("dur_ms", int(dur/time.Millisecond)))
 		in.sched.After(dur, func() {
-			l.SetBandwidth(prev.Bandwidth)
-			l.SetLoss(prev.Loss)
-			in.emit("link-restore", name, obs.F("bps", prev.Bandwidth))
+			restore := netsim.ShapeBandwidth | netsim.ShapeLoss
+			l.Shape(netsim.DirAB, netsim.Shaping{Fields: restore, Bandwidth: prevAB.Bandwidth, Loss: prevAB.Loss})
+			l.Shape(netsim.DirBA, netsim.Shaping{Fields: restore, Bandwidth: prevBA.Bandwidth, Loss: prevBA.Loss})
+			in.emit("link-restore", name, obs.F("bps", prevAB.Bandwidth))
+		})
+	})
+}
+
+// ShapeLink applies an explicit shaping to the selected direction(s)
+// at now+at — the injectable form of a single blockage-style retune.
+func (in *Injector) ShapeLink(name string, l *netsim.Link, dir netsim.Direction, at time.Duration, s netsim.Shaping) {
+	in.sched.After(at, func() {
+		l.Shape(dir, s)
+		in.emit("link-shape", name, obs.F("dir", dir.String()))
+	})
+}
+
+// Blockage starts a seeded LoS/NLoS blockage process on l at now+at
+// and stops it after dur, restoring the LoS shaping. The model's
+// transitions ride its own seeded RNG, so the fault script stays
+// byte-reproducible per seed.
+func (in *Injector) Blockage(name string, l *netsim.Link, at, dur time.Duration, cfg netsim.BlockageConfig) {
+	in.sched.After(at, func() {
+		in.emit("blockage-start", name, obs.F("dur_ms", int(dur/time.Millisecond)))
+		b := netsim.StartBlockage(in.sched, l, cfg)
+		in.sched.After(dur, func() {
+			b.Stop()
+			l.Shape(cfg.Dir, cfg.LoS)
+			in.emit("blockage-stop", name, obs.F("transitions", len(b.Transitions())))
 		})
 	})
 }

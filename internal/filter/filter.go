@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/ip"
 	"repro/internal/sim"
@@ -394,6 +395,20 @@ type Metrics interface {
 	// Metric returns the current numeric value of a local
 	// execution-environment variable (Table 6.1/6.2 names).
 	Metric(name string, index int) (float64, bool)
+}
+
+// FlowSampler is implemented by Envs that can answer per-flow
+// transport measurements out of the proxy's flow log — the smoothed
+// RTT a delay-aware filter (mwin) needs to size a bandwidth-delay
+// product. Key orientation is irrelevant: the flow log canonicalizes.
+// Calls are owning-goroutine only (filter hooks and timers already
+// are). Filters obtain it by type-asserting their Env; absence means
+// no flow log is wired and the filter should fall back to static
+// behaviour.
+type FlowSampler interface {
+	// FlowSRTT returns the smoothed RTT estimate of k's flow; ok is
+	// false when the flow is unknown or has no sample yet.
+	FlowSRTT(k Key) (srtt time.Duration, ok bool)
 }
 
 // Spawner is implemented by Envs that can instantiate other loaded

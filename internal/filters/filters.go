@@ -17,6 +17,9 @@
 //   - wsize: BSSP-style receive-window rewriting — stream
 //     prioritization and zero-window-size-message (ZWSM)
 //     disconnection management (§8.2.2).
+//   - mwin: milliProxy-style delay-aware window sizing — the wsize
+//     idea generalized from a static clamp to a controller tracking
+//     the measured wireless-side bandwidth-delay product (PAPERS.md).
 //   - discard: hierarchical discard of layered real-time media
 //     (§8.3.2).
 //   - cache: proxy-side response cache for the toy fetch protocol —
@@ -42,6 +45,7 @@ func RegisterAll(c *filter.Catalog) {
 	c.Register("launcher", func() filter.Factory { return NewLauncher() })
 	c.Register("rdrop", func() filter.Factory { return NewRDrop() })
 	c.Register("wsize", func() filter.Factory { return NewWSize() })
+	c.Register("mwin", func() filter.Factory { return NewMWin() })
 	c.Register("snoop", func() filter.Factory { return NewSnoop() })
 	c.Register("ttsf", func() filter.Factory { return NewTTSF() })
 	c.Register("comp", func() filter.Factory { return NewCompress() })

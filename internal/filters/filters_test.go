@@ -597,7 +597,7 @@ func TestAdaptiveDiscardFollowsBandwidth(t *testing.T) {
 	}
 
 	// Phase 2: the mobile moves to a 600 kb/s cell.
-	r.wless.SetBandwidth(600e3)
+	r.wless.Shape(netsim.DirBoth, netsim.Shaping{Fields: netsim.ShapeBandwidth, Bandwidth: 600e3})
 	r.sched.RunFor(6 * time.Second)
 	st, _ = filters.ADiscardStatsFor(k)
 	if st.CurrentMaxLayer >= 3 {
@@ -609,7 +609,7 @@ func TestAdaptiveDiscardFollowsBandwidth(t *testing.T) {
 	low := st.CurrentMaxLayer
 
 	// Phase 3: back to a fast cell — layers are restored.
-	r.wless.SetBandwidth(4e6)
+	r.wless.Shape(netsim.DirBoth, netsim.Shaping{Fields: netsim.ShapeBandwidth, Bandwidth: 4e6})
 	r.sched.RunFor(6 * time.Second)
 	st, _ = filters.ADiscardStatsFor(k)
 	if st.CurrentMaxLayer <= low {

@@ -1,0 +1,123 @@
+package filters
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func TestMwinSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 200; trial++ {
+		src := &mwinInst{
+			haveAck: rng.Intn(2) == 1,
+			active:  rng.Intn(2) == 1,
+			lastAck: rng.Uint32(),
+			window:  uint16(rng.Intn(1 << 16)),
+		}
+		snap, err := src.SnapshotState()
+		if err != nil {
+			t.Fatalf("trial %d: snapshot: %v", trial, err)
+		}
+		dst := &mwinInst{ackedBytes: 999}
+		if err := dst.RestoreState(snap); err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		if dst.haveAck != src.haveAck || dst.active != src.active ||
+			dst.lastAck != src.lastAck || dst.window != src.window {
+			t.Fatalf("trial %d: mismatch: got %+v, want %+v", trial, dst, src)
+		}
+		if dst.ackedBytes != 0 {
+			t.Fatal("restore must reset the partial-interval ACK count")
+		}
+		snap2, err := dst.SnapshotState()
+		if err != nil {
+			t.Fatalf("trial %d: re-snapshot: %v", trial, err)
+		}
+		if !bytes.Equal(snap, snap2) {
+			t.Fatalf("trial %d: round trip not byte-exact", trial)
+		}
+	}
+}
+
+func TestMwinRestoreErrors(t *testing.T) {
+	snap, err := (&mwinInst{active: true, window: 8192, lastAck: 12345}).SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(snap); n++ {
+		if err := (&mwinInst{}).RestoreState(snap[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if err := (&mwinInst{}).RestoreState(append(append([]byte(nil), snap...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// stubEnv implements filter.Env and nothing else — in particular not
+// FlowSampler — so it exercises mwin's fail-open path.
+type stubEnv struct {
+	sched *sim.Scheduler
+	hooks []filter.Hooks
+}
+
+func (e *stubEnv) Clock() *sim.Scheduler { return e.sched }
+func (e *stubEnv) Attach(k filter.Key, h filter.Hooks) (func(), error) {
+	e.hooks = append(e.hooks, h)
+	return func() {}, nil
+}
+func (e *stubEnv) RemoveStream(filter.Key) {}
+func (e *stubEnv) Inject([]byte)           {}
+func (e *stubEnv) Logf(string, ...any)     {}
+
+// TestMwinPassiveWithoutFlowSampler: with no flow log wired into the
+// Env, mwin must attach but never modify a packet (fail open).
+func TestMwinPassiveWithoutFlowSampler(t *testing.T) {
+	env := &stubEnv{sched: sim.NewScheduler(1)}
+	k := filter.Key{
+		SrcIP: ip.MustParseAddr("11.11.10.99"), SrcPort: 7,
+		DstIP: ip.MustParseAddr("11.11.10.10"), DstPort: 5001,
+	}
+	if err := NewMWin().New(env, k, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.hooks) != 1 {
+		t.Fatalf("attached %d hooks, want 1", len(env.hooks))
+	}
+	env.sched.RunFor(5 * time.Second) // many rolls with no sampler
+	seg := tcp.Segment{
+		SrcPort: 5001, DstPort: 7, Flags: tcp.FlagACK, Ack: 5000, Window: 65535,
+	}
+	h := ip.Header{TTL: 64, Protocol: ip.ProtoTCP,
+		Src: k.DstIP, Dst: k.SrcIP}
+	raw, err := h.Marshal(seg.Marshal(h.Src, h.Dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := filter.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.hooks[0].Out(p)
+	if p.TCP.Window != 65535 || p.Dirty() {
+		t.Fatalf("samplerless mwin modified the packet: window=%d dirty=%v",
+			p.TCP.Window, p.Dirty())
+	}
+}
+
+func TestMwinBadArgs(t *testing.T) {
+	env := &stubEnv{sched: sim.NewScheduler(1)}
+	k := filter.Key{SrcIP: 1, SrcPort: 2, DstIP: 3, DstPort: 4}
+	for _, args := range [][]string{{"0.5"}, {"17"}, {"x"}, {"2", "0"}, {"2", "-5"}, {"2", "ms"}} {
+		if err := NewMWin().New(env, k, args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

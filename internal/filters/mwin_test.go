@@ -1,0 +1,134 @@
+package filters_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// winSample is one sender-side observation of the peer window.
+type winSample struct {
+	at  sim.Time
+	win int
+}
+
+// senderWindows records the window field of every non-SYN segment the
+// wired host receives — i.e. the (possibly rewritten) window the
+// sender actually operates under.
+func senderWindows(r *rig) *[]winSample {
+	var out []winSample
+	r.wStack.OnSegment = func(send bool, src, dst ip.Addr, seg *tcp.Segment) {
+		if !send && seg.Flags&tcp.FlagSYN == 0 {
+			out = append(out, winSample{at: r.sched.Now(), win: int(seg.Window)})
+		}
+	}
+	return &out
+}
+
+// TestMwinTracksBDPWithinBounds: on a 1.5 Mb/s, 20 ms link the
+// wireless BDP is ~8 KB. The mobile advertises 65535 throughout; mwin
+// must pull the sender's view down to gain×BDP territory — far below
+// the advertisement — while never clamping under one MSS, and the
+// transfer must still complete intact.
+func TestMwinTracksBDPWithinBounds(t *testing.T) {
+	r := newRig(t, rigOpts{wireless: netsim.LinkConfig{Bandwidth: 1.5e6, Delay: 20 * time.Millisecond}})
+	r.cmd(t, r.proxyA, "load tcp")
+	r.cmd(t, r.proxyA, "load mwin")
+	r.cmd(t, r.proxyA, "load launcher")
+	r.cmd(t, r.proxyA, "add launcher 11.11.10.99 0 11.11.10.10 0 tcp mwin")
+
+	wins := senderWindows(r)
+	payload := pattern(400_000)
+	got, _ := r.transfer(t, payload, 120*time.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("transfer corrupted under mwin: %d of %d bytes", len(got), len(payload))
+	}
+
+	// Steady state: past the first second the controller has rate and
+	// RTT samples. BDP = 187.5 KB/s × ~45 ms ≈ 8.4 KB; gain 2 → ~17 KB.
+	// Allow generous headroom for srtt wobble, but the 65535
+	// advertisement must be long gone.
+	settled, minWin := 0, 1<<20
+	for _, w := range *wins {
+		if w.at < sim.Time(time.Second) {
+			continue
+		}
+		settled++
+		if w.win > 40000 {
+			t.Fatalf("window %d at %v: not tracking the ~8 KB BDP", w.win, time.Duration(w.at))
+		}
+		if w.win < minWin {
+			minWin = w.win
+		}
+	}
+	if settled == 0 {
+		t.Fatal("no settled window observations")
+	}
+	if minWin < 1460 {
+		t.Fatalf("window clamped below one MSS: %d", minWin)
+	}
+}
+
+// TestMwinCollapsesOnOutageAndRecovers: when the wireless leg stops
+// delivering (hard blockage), consecutive zero-delivery rolls halve
+// the window toward the MSS floor, so the first ACKs after recovery
+// carry a tiny window — the wired sender cannot refill the proxy's
+// queue faster than the link restarts. The gain then ramps the window
+// back up.
+func TestMwinCollapsesOnOutageAndRecovers(t *testing.T) {
+	r := newRig(t, rigOpts{wireless: netsim.LinkConfig{Bandwidth: 4e6, Delay: 10 * time.Millisecond}})
+	r.cmd(t, r.proxyA, "load tcp")
+	r.cmd(t, r.proxyA, "load mwin")
+	r.cmd(t, r.proxyA, "load launcher")
+	r.cmd(t, r.proxyA, "add launcher 11.11.10.99 0 11.11.10.10 0 tcp mwin")
+
+	// Hard outage on the data direction from t=3s to t=4.5s: the
+	// direction stays up and routable but carries nothing.
+	r.sched.After(3*time.Second, func() {
+		r.wless.Shape(netsim.DirAB, netsim.Shaping{Fields: netsim.ShapeBandwidth, Bandwidth: 0})
+	})
+	r.sched.After(4500*time.Millisecond, func() {
+		r.wless.Shape(netsim.DirAB, netsim.Shaping{Fields: netsim.ShapeBandwidth, Bandwidth: 4e6})
+	})
+
+	wins := senderWindows(r)
+	payload := pattern(3_000_000)
+	got, _ := r.transfer(t, payload, 120*time.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("transfer corrupted across outage: %d of %d bytes", len(got), len(payload))
+	}
+
+	// The first window the sender sees after the outage must be near
+	// the MSS floor (the halving rolls had ~1.5 s to bite), and the
+	// ramp must reopen it within the following second.
+	outageEnd := sim.Time(4500 * time.Millisecond)
+	firstAfter, maxLater := -1, 0
+	for _, w := range *wins {
+		if w.at < outageEnd {
+			continue
+		}
+		if firstAfter < 0 {
+			firstAfter = w.win
+		}
+		if w.at < outageEnd.Add(2*time.Second) && w.win > maxLater {
+			maxLater = w.win
+		}
+	}
+	if firstAfter < 0 {
+		t.Fatal("no ACKs observed after the outage")
+	}
+	if firstAfter > 4*1460 {
+		t.Fatalf("first post-outage window %d: collapse did not reach the floor region", firstAfter)
+	}
+	if firstAfter < 1460 {
+		t.Fatalf("post-outage window %d below one MSS", firstAfter)
+	}
+	if maxLater < 2*firstAfter {
+		t.Fatalf("window did not ramp after recovery: first %d, max within 2s %d", firstAfter, maxLater)
+	}
+}

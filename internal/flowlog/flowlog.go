@@ -402,6 +402,20 @@ func (t *Table) AppendRecords(dst []Record) []Record {
 // goroutine).
 func (t *Table) ActiveFlows() int64 { return t.stats.Active.Load() }
 
+// SRTT returns the smoothed RTT estimate of k's active flow (either
+// orientation; the table canonicalizes). ok is false when the flow is
+// unknown or has produced no RTT sample yet. Owning-goroutine only,
+// like Record — this is the lookup behind the proxy's
+// filter.FlowSampler.
+func (t *Table) SRTT(k filter.Key) (time.Duration, bool) {
+	ck, _ := canonical(k)
+	f := t.active[ck]
+	if f == nil || f.srtt == 0 {
+		return 0, false
+	}
+	return time.Duration(f.srtt) * time.Microsecond, true
+}
+
 // --- intrusive LRU -----------------------------------------------------------
 
 func (t *Table) lruPushBack(f *flowState) {

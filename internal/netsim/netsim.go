@@ -129,6 +129,13 @@ type LinkStats struct {
 	DeliveredBytes int64
 	ARQRetries     int64 // link-layer retransmission rounds charged
 	ARQDuplicates  int64 // frames delivered twice by the ARQ model
+	// ZeroCapDrops counts packets offered while the direction was
+	// shaped to zero capacity (blockage outage). Distinct from Dropped
+	// (loss model) and QueueDrops (full queue): the link is up and
+	// routable, it just cannot carry anything right now.
+	ZeroCapDrops int64
+	// PeakQueue is the high-water mark of the transmit queue.
+	PeakQueue int
 	// BusyTime accumulates serialization time, for utilization math.
 	BusyTime time.Duration
 }
@@ -189,24 +196,33 @@ func (l *Link) Down() bool { return l.ab.down || l.ba.down }
 func (l *Link) DownAB() bool { return l.ab.down }
 func (l *Link) DownBA() bool { return l.ba.down }
 
-// SetLoss swaps the loss model of both directions at run time
-// (experiments vary wireless quality mid-run).
-func (l *Link) SetLoss(m LossModel) {
-	l.ab.cfg.Loss = m
-	l.ba.cfg.Loss = m
+// Shape retunes the selected direction(s) of the link at run time —
+// the mobility and blockage scenarios of §2.3 and the 5G pack. Only
+// the fields named in s.Fields are applied; everything else keeps its
+// current value, so an explicit zero is meaningful (Bandwidth 0 = no
+// capacity, Delay 0 = instant propagation, Loss nil = lossless).
+// Queued packets already scheduled keep their old serialization times.
+func (l *Link) Shape(dir Direction, s Shaping) {
+	if dir&DirAB != 0 {
+		l.ab.apply(s)
+	}
+	if dir&DirBA != 0 {
+		l.ba.apply(s)
+	}
 }
 
-// SetBandwidth changes both directions' bandwidth at run time — the
-// thesis's mobility scenario of moving between networks of different
-// quality (§2.3). Queued packets already scheduled keep their old
-// serialization times.
-func (l *Link) SetBandwidth(bps int64) {
-	if bps <= 0 {
-		return
-	}
-	l.ab.cfg.Bandwidth = bps
-	l.ba.cfg.Bandwidth = bps
-}
+// ShapingAB and ShapingBA return the current tuning of one direction
+// with every field marked set — ready to capture-and-restore around a
+// temporary reshape (the fault injector's degrade path).
+func (l *Link) ShapingAB() Shaping { return l.ab.shaping() }
+func (l *Link) ShapingBA() Shaping { return l.ba.shaping() }
+
+// QueuedAB and QueuedBA report the packets currently held in one
+// direction's transmit queue — the proxy-side buffer occupancy the
+// mmWave scenario compares with and without delay-aware window
+// control.
+func (l *Link) QueuedAB() int { return l.ab.queued }
+func (l *Link) QueuedBA() int { return l.ba.queued }
 
 // Iface is a node's attachment to a link.
 type Iface struct {
@@ -641,6 +657,17 @@ func (f *Iface) transmit(raw []byte) {
 	if d.down {
 		return
 	}
+	if d.cfg.Bandwidth <= 0 {
+		// Shaped to zero capacity: the direction is up and routable but
+		// cannot serialize anything — a deep-blockage outage, distinct
+		// from link-down (routing would avoid that) and from a full
+		// queue (which will drain).
+		d.stats.ZeroCapDrops++
+		if b := l.net.obs; b.Enabled() {
+			b.Emit("netsim", "zero-capacity", f.addr.String()+"->"+peerAddr(f), obs.F("len", len(raw)))
+		}
+		return
+	}
 	if d.queued >= d.cfg.QueueLen {
 		d.stats.QueueDrops++
 		if b := l.net.obs; b.Enabled() {
@@ -657,6 +684,9 @@ func (f *Iface) transmit(raw []byte) {
 	serialize := time.Duration(int64(len(raw)) * 8 * int64(time.Second) / d.cfg.Bandwidth)
 	d.nextFree = start.Add(serialize)
 	d.queued++
+	if d.queued > d.stats.PeakQueue {
+		d.stats.PeakQueue = d.queued
+	}
 	d.stats.Packets++
 	d.stats.Bytes += int64(len(raw))
 	d.stats.BusyTime += serialize

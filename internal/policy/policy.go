@@ -41,6 +41,14 @@ type Control interface {
 	DeleteFilter(name string, k filter.Key) error
 }
 
+// Commander is the raw SP command surface a Control may additionally
+// expose (the sharded plane and the proxy both do). Rules with the
+// "command" action need it; on a Control without it such rules fail
+// their fire instead of silently doing nothing.
+type Commander interface {
+	Command(line string) string
+}
+
 // DefaultPeriod is the sampling tick when Config.Period is zero.
 const DefaultPeriod = 500 * time.Millisecond
 
@@ -361,8 +369,26 @@ func (e *Engine) doFire(r *boundRule) error {
 			return fmt.Errorf("add %s: %w", r.Filter, err)
 		}
 		return nil
+	case ActionCommand:
+		return e.runCommand(r, "on")
 	}
 	return fmt.Errorf("unknown action %q", r.Action)
+}
+
+// runCommand drives a registered SP command for an ActionCommand rule:
+// the rule's filter spec becomes the command name and arguments, with
+// "on" (fire) or "off" (revert) appended.
+func (e *Engine) runCommand(r *boundRule, state string) error {
+	cmdr, ok := e.ctrl.(Commander)
+	if !ok {
+		return fmt.Errorf("command %s: control surface has no raw commands", r.Filter)
+	}
+	parts := append([]string{r.Filter}, r.FArgs...)
+	line := strings.Join(append(parts, state), " ")
+	if out := cmdr.Command(line); strings.HasPrefix(out, "error") {
+		return fmt.Errorf("command %q: %s", line, out)
+	}
+	return nil
 }
 
 // tryRevert withdraws the rule's action.
@@ -402,6 +428,8 @@ func (e *Engine) doRevert(r *boundRule) error {
 			return fmt.Errorf("delete %s: %w", r.Filter, err)
 		}
 		return nil
+	case ActionCommand:
+		return e.runCommand(r, "off")
 	}
 	return fmt.Errorf("unknown action %q", r.Action)
 }

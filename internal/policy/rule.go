@@ -12,7 +12,7 @@ import (
 // Rule is one declarative adaptation rule:
 //
 //	<name> when <var>[:<index>] <op> <enter> [exit <bound>] for <hold>
-//	       then <load|remove|config> <filter[:args]> on <sIP> <sP> <dIP> <dP>
+//	       then <load|remove|config|command> <filter[:args]> on <sIP> <sP> <dIP> <dP>
 //	       [rate <ticks>]
 //
 // The variable names an EEM variable on the engine's server. The rule
@@ -43,6 +43,12 @@ const (
 	ActionLoad   = "load"   // load the filter library and attach it
 	ActionRemove = "remove" // detach the filter; revert re-attaches
 	ActionConfig = "config" // re-attach with new args; revert detaches
+	// ActionCommand drives a registered SP command instead of a filter:
+	// fire runs `<name> <args...> on`, revert runs `<name> <args...>
+	// off`. This is how a rule reaches management verbs that are not
+	// per-stream filters — the mmWave pack's `mmwave shed` leg switch.
+	// The rule's stream key is not used; write it as zeros.
+	ActionCommand = "command"
 )
 
 // ParseRule parses the rule grammar above.
@@ -138,10 +144,10 @@ func ParseRule(spec string) (*Rule, error) {
 		return nil, fmt.Errorf("policy: rule %q: missing action", r.Name)
 	}
 	switch action {
-	case ActionLoad, ActionRemove, ActionConfig:
+	case ActionLoad, ActionRemove, ActionConfig, ActionCommand:
 		r.Action = action
 	default:
-		return nil, fmt.Errorf("policy: rule %q: unknown action %q (want load/remove/config)", r.Name, action)
+		return nil, fmt.Errorf("policy: rule %q: unknown action %q (want load/remove/config/command)", r.Name, action)
 	}
 
 	fspec, ok := next()

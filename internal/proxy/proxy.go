@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/classifier"
 	"repro/internal/filter"
@@ -359,6 +360,14 @@ func (p *Proxy) Logf(format string, args ...any) {
 var _ filter.Env = (*Proxy)(nil)
 var _ filter.Spawner = (*Proxy)(nil)
 var _ filter.Metrics = (*Proxy)(nil)
+var _ filter.FlowSampler = (*Proxy)(nil)
+
+// FlowSRTT implements filter.FlowSampler: the smoothed RTT of k's flow
+// out of this proxy's flow log. Owning-goroutine only, like the flow
+// log itself — filter hooks and timers already run there.
+func (p *Proxy) FlowSRTT(k filter.Key) (time.Duration, bool) {
+	return p.flows.SRTT(k)
+}
 
 // SetMetricSource wires the proxy host's execution-environment
 // variables (e.g. an eem.NodeSource) into the filters' Env.

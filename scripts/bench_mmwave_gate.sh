@@ -1,0 +1,66 @@
+#!/bin/sh
+# Regression gate for the 5G mmWave scenario.
+#
+# Runs a fresh `wsim -mmwave -seed 7` and enforces:
+#
+#   1. Acceptance bars (every host): the managed (mwin + LTE-shed) leg
+#      must move data at >= 1.5x the no-proxy baseline, and both proxy
+#      legs must keep the mmWave transmit queue's high-water mark below
+#      the baseline's. The scenario asserts these itself — a non-zero
+#      exit fails the gate — but the bars are re-checked here from the
+#      RESULT line so the gate does not depend on the binary's exit
+#      path alone.
+#   2. Exact record (when BENCH_mmwave.json is committed): the scenario
+#      runs on virtual time, so the same seed must reproduce the
+#      committed numbers exactly — any drift means link, TCP, filter,
+#      or policy behavior changed and the record must be re-cut
+#      deliberately (make bench-mmwave).
+set -e
+cd "$(dirname "$0")/.."
+
+OUT=/tmp/bench_mmwave_gate.txt
+go run ./cmd/wsim -mmwave -seed 7 | tee "$OUT"
+
+LINE=$(grep '^RESULT mmwave ' "$OUT" || true)
+if [ -z "$LINE" ]; then
+	echo "bench-mmwave-gate: FAIL (no RESULT line in scenario output)"
+	exit 1
+fi
+
+field() {
+	echo "$LINE" | tr ' ' '\n' | sed -n "s/^$1=//p"
+}
+BASE_BPS=$(field baseline_bps)
+MANAGED_BPS=$(field managed_bps)
+BASE_PEAK=$(field baseline_peak)
+MWIN_PEAK=$(field mwin_peak)
+MANAGED_PEAK=$(field managed_peak)
+
+awk -v bb="$BASE_BPS" -v mb="$MANAGED_BPS" -v bp="$BASE_PEAK" \
+	-v wp="$MWIN_PEAK" -v gp="$MANAGED_PEAK" 'BEGIN {
+	if (mb < 1.5 * bb) {
+		printf "bench-mmwave-gate: FAIL (managed %d b/s < 1.5x baseline %d b/s)\n", mb, bb
+		exit 1
+	}
+	if (wp >= bp || gp >= bp) {
+		printf "bench-mmwave-gate: FAIL (peak queue mwin=%d managed=%d not below baseline=%d)\n", wp, gp, bp
+		exit 1
+	}
+	printf "bench-mmwave-gate: bars OK (speedup %.2f, peaks %d/%d vs %d)\n", mb / bb, wp, gp, bp
+}' || exit 1
+
+if [ -f BENCH_mmwave.json ]; then
+	for key in baseline_bps mwin_bps managed_bps baseline_peak mwin_peak managed_peak; do
+		REC=$(sed -n "s/.*\"$key\": *\([0-9][0-9]*\).*/\1/p" BENCH_mmwave.json)
+		GOT=$(field $key)
+		if [ -n "$REC" ] && [ "$REC" != "$GOT" ]; then
+			echo "bench-mmwave-gate: FAIL ($key=$GOT differs from committed $REC; re-cut with 'make bench-mmwave' if intended)"
+			exit 1
+		fi
+	done
+	echo "bench-mmwave-gate: record OK (matches BENCH_mmwave.json exactly)"
+else
+	echo "bench-mmwave-gate: record gate skipped (no BENCH_mmwave.json committed)"
+fi
+
+echo "bench-mmwave-gate: OK"
